@@ -1,0 +1,130 @@
+// Command collector runs one node of the Cluster Resource Collector
+// (§III-F of the paper). In server mode it maintains the live cluster
+// inventory; in agent mode it registers a machine and streams utilization
+// updates.
+//
+// Usage:
+//
+//	collector server -addr :9090
+//	collector agent  -addr HOST:9090 -hostname node-1 -spec cloudlab-p100 \
+//	                 [-cpu 0.2] [-gpu 0.1] [-disk 0.0] [-interval 5s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"predictddl/internal/cluster"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "server":
+		err = runServer(os.Args[2:])
+	case "agent":
+		err = runAgent(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "collector: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "collector:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  collector server -addr :9090 [-ttl 30s]
+  collector agent  -addr HOST:9090 -hostname NAME -spec SPEC [-cpu F] [-gpu F] [-disk F] [-interval 5s]`)
+}
+
+func runServer(args []string) error {
+	fs := flag.NewFlagSet("server", flag.ExitOnError)
+	addr := fs.String("addr", ":9090", "TCP listen address")
+	ttl := fs.Duration("ttl", 30*time.Second, "registration time-to-live")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	col, err := cluster.NewCollector(*addr, cluster.CollectorOptions{TTL: *ttl})
+	if err != nil {
+		return err
+	}
+	defer col.Close()
+	fmt.Fprintf(os.Stderr, "collector listening on %s\n", col.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	tick := time.NewTicker(10 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			return nil
+		case <-tick.C:
+			snap := col.Snapshot()
+			fmt.Fprintf(os.Stderr, "%s inventory: %d live server(s)\n", time.Now().Format(time.TimeOnly), len(snap))
+			for _, s := range snap {
+				fmt.Fprintf(os.Stderr, "  %-16s %-20s cpu %.0f%% gpu %.0f%%\n",
+					s.Hostname, s.Server.Spec.Name, 100*s.Server.CPUUtil, 100*s.Server.GPUUtil)
+			}
+		}
+	}
+}
+
+func runAgent(args []string) error {
+	fs := flag.NewFlagSet("agent", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "collector address")
+	hostname := fs.String("hostname", "", "this server's name (required)")
+	specName := fs.String("spec", "cloudlab-e5-2630", "machine class")
+	cpu := fs.Float64("cpu", 0, "reported CPU utilization in [0,1]")
+	gpu := fs.Float64("gpu", 0, "reported GPU utilization in [0,1]")
+	disk := fs.Float64("disk", 0, "reported disk load in [0,1]")
+	interval := fs.Duration("interval", 5*time.Second, "report interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *hostname == "" {
+		h, err := os.Hostname()
+		if err != nil {
+			return fmt.Errorf("-hostname required (auto-detect failed: %w)", err)
+		}
+		*hostname = h
+	}
+	spec, err := cluster.LookupSpec(*specName)
+	if err != nil {
+		return err
+	}
+	agent, err := cluster.DialAgent(*addr, *hostname, spec)
+	if err != nil {
+		return err
+	}
+	defer agent.Close()
+	fmt.Fprintf(os.Stderr, "agent %s registered with %s as %s\n", *hostname, *addr, spec.Name)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			return nil
+		case <-tick.C:
+			if err := agent.Report(*cpu, *gpu, *disk, 0); err != nil {
+				return fmt.Errorf("report failed (collector gone?): %w", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Command ddlbench regenerates the PredictDDL paper's evaluation figures
+// (see DESIGN.md §3 for the experiment index). By default it trains the
+// full-scale lab — the complete 31-model zoo across 1–20 servers on both
+// datasets — and prints every figure; -fig selects one.
+//
+// Usage:
+//
+//	ddlbench [-fig all|1|2|5|6|9|10|11|12|13|baselines|hetero|sharedghn|confidence]
+//	         [-seed N] [-quick] [-dump-campaign points.csv]
+//
+// -quick downsizes the lab (fewer GHN training graphs, fewer cluster
+// sizes) for a fast smoke run; -dump-campaign exports the CIFAR-10
+// measurement campaign as CSV and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"predictddl/internal/experiments"
+	"predictddl/internal/simulator"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: all, 1, 2, 5, 6, 9, 10, 11, 12, 13, baselines, hetero, sharedghn, confidence")
+	seed := flag.Int64("seed", 1, "deterministic seed for the whole lab")
+	quick := flag.Bool("quick", false, "downsized lab for a fast smoke run")
+	dumpCampaign := flag.String("dump-campaign", "", "write the CIFAR-10 campaign points to this CSV file and exit")
+	flag.Parse()
+
+	lab := experiments.NewLab(*seed)
+	if *quick {
+		lab.GHNGraphs = 64
+		lab.GHNEpochs = 6
+		lab.ServerCounts = []int{1, 2, 4, 8, 12, 16, 20}
+	}
+
+	if *dumpCampaign != "" {
+		points, err := lab.Campaign(lab.CIFAR10())
+		exitOn(err)
+		f, err := os.Create(*dumpCampaign)
+		exitOn(err)
+		exitOn(simulator.WriteCSV(f, points))
+		exitOn(f.Close())
+		fmt.Printf("wrote %d campaign points to %s\n", len(points), *dumpCampaign)
+		return
+	}
+
+	want := func(id string) bool { return *fig == "all" || *fig == id }
+	start := time.Now()
+	ran := 0
+
+	if want("1") {
+		res, err := experiments.Fig01VGG16(lab)
+		exitOn(err)
+		section("Fig. 1 — black box vs gray box, VGG-16 (paper: up to 99.5% RMSE improvement)")
+		fmt.Println(res)
+		ran++
+	}
+	if want("2") {
+		res, err := experiments.Fig02MobileNetV3(lab)
+		exitOn(err)
+		section("Fig. 2 — black box vs gray box, MobileNet-V3 (paper: up to 91.2% improvement)")
+		fmt.Println(res)
+		ran++
+	}
+	if want("5") {
+		res, err := experiments.Fig05EmbeddingSpace(lab)
+		exitOn(err)
+		section("Fig. 5 — cosine similarity of GHN embeddings (same family ⇒ more similar)")
+		fmt.Print(res)
+		ran++
+	}
+	if want("6") {
+		rows, err := experiments.Fig06FeatureAblation(lab)
+		exitOn(err)
+		section("Fig. 6 — DNN feature ablation (paper: GHN ≫ layers/params; closer to 1 is better)")
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		ran++
+	}
+	if want("9") {
+		rows, sum, err := experiments.Fig09(lab)
+		exitOn(err)
+		section("Fig. 9 — PredictDDL vs Ernest per Table-II workload (paper: 9.8x lower error, 8% mean)")
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		fmt.Println("summary:", sum)
+		ran++
+	}
+	if want("10") {
+		rows, err := experiments.Fig10Regressors(lab)
+		exitOn(err)
+		section("Fig. 10 — regressor comparison (paper: PR/LR robust on both datasets)")
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		ran++
+	}
+	if want("11") {
+		rows, err := experiments.Fig11SplitSensitivity(lab)
+		exitOn(err)
+		section("Fig. 11 — train/test split sensitivity (paper: no material change across splits)")
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		ran++
+	}
+	if want("12") {
+		rows, err := experiments.Fig12ClusterSize(lab)
+		exitOn(err)
+		section("Fig. 12 — prediction error by execution cluster size (paper: 0.1%–23.5%)")
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		ran++
+	}
+	if want("13") {
+		rows, err := experiments.Fig13BatchJobs(lab)
+		exitOn(err)
+		section("Fig. 13 — batch prediction jobs (paper: 2.6/5.1/7.7/10.3x; shape: speedup grows with batch)")
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		ran++
+	}
+
+	if want("baselines") {
+		rows, err := experiments.ThreeWayBaselines(lab)
+		exitOn(err)
+		section("Extension — three-way baselines on CIFAR-10: PredictDDL vs Ernest (§V-A) vs Paleo-style analytical (§V-B)")
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		ran++
+	}
+
+	if want("hetero") {
+		rows, err := experiments.HeterogeneousClusters(lab)
+		exitOn(err)
+		section("Extension — heterogeneous clusters (mixed CPU classes never seen in the campaign)")
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		ran++
+	}
+	if want("confidence") {
+		rows, rho, err := experiments.ConfidenceCalibration(lab)
+		exitOn(err)
+		section("Extension — confidence calibration on held-out architectures (low similarity ⇒ higher error?)")
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		fmt.Printf("Spearman ρ(low-confidence, high-error) = %.2f over %d held-out models\n", rho, len(rows))
+		ran++
+	}
+	if want("sharedghn") {
+		rows, err := experiments.SharedGHN(lab)
+		exitOn(err)
+		section("Extension — one shared GHN across datasets (paper future work §VI)")
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		ran++
+	}
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "ddlbench: unknown figure %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("\n%d experiment(s) regenerated in %v\n", ran, time.Since(start).Round(time.Millisecond))
+}
+
+func section(title string) {
+	fmt.Printf("\n%s\n%s\n", title, strings.Repeat("─", len([]rune(title))))
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddlbench:", err)
+		os.Exit(1)
+	}
+}

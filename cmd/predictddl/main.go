@@ -1,0 +1,210 @@
+// Command predictddl is the PredictDDL controller: it trains the offline
+// pipeline for one or more datasets and either answers a single prediction
+// request (predict) or serves the HTTP API (serve).
+//
+// Usage:
+//
+//	predictddl predict -dataset cifar10 -model resnet50 -servers 8
+//	predictddl serve   -addr :8080 -datasets cifar10,tiny-imagenet
+//	predictddl models | datasets | specs
+//
+// serve exposes POST /v1/predict, GET /v1/status, and GET /v1/models
+// (§III-D of the paper: Controller + Listener + Task Checker). With
+// -collector ADDR it also runs the Cluster Resource Collector and uses the
+// live inventory when requests omit an explicit cluster.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"predictddl"
+	"predictddl/internal/cluster"
+	"predictddl/internal/dataset"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = runTrain(os.Args[2:])
+	case "predict":
+		err = runPredict(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
+	case "models":
+		for _, m := range predictddl.Zoo() {
+			fmt.Println(m)
+		}
+	case "datasets":
+		for _, d := range dataset.Names() {
+			fmt.Println(d)
+		}
+	case "specs":
+		for _, s := range cluster.SpecNames() {
+			fmt.Println(s)
+		}
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "predictddl: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predictddl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  predictddl train   -dataset NAME -o FILE [-full]
+  predictddl predict -dataset NAME -model NAME -servers N [-spec NAME] [-load FILE] [-quick]
+  predictddl serve   -addr :8080 [-datasets cifar10,tiny-imagenet] [-collector ADDR] [-quick]
+  predictddl models | datasets | specs`)
+}
+
+func runTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	ds := fs.String("dataset", "cifar10", "dataset type")
+	out := fs.String("o", "", "output predictor file (required)")
+	full := fs.Bool("full", false, "full-fidelity offline training (slower)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-o is required")
+	}
+	p, err := trainOne(*ds, !*full)
+	if err != nil {
+		return err
+	}
+	if err := p.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "predictor saved to %s\n", *out)
+	return nil
+}
+
+func trainOne(ds string, quick bool) (*predictddl.Predictor, error) {
+	opts := predictddl.Options{Dataset: ds}
+	if quick {
+		opts.GHNGraphs = 64
+		opts.GHNEpochs = 6
+		opts.ServerCounts = []int{1, 2, 4, 8, 12, 16, 20}
+	}
+	fmt.Fprintf(os.Stderr, "training PredictDDL for %s (offline GHN + campaign + regressor fit)...\n", ds)
+	return predictddl.Train(opts)
+}
+
+func runPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	ds := fs.String("dataset", "cifar10", "dataset type")
+	model := fs.String("model", "", "architecture name (see `predictddl models`)")
+	servers := fs.Int("servers", 4, "cluster size")
+	spec := fs.String("spec", "", "machine class (defaults per dataset)")
+	topology := fs.String("topology", "", "JSON topology file describing a custom (possibly heterogeneous/loaded) cluster")
+	quick := fs.Bool("quick", true, "downsized offline training")
+	load := fs.String("load", "", "load a saved predictor instead of training")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model == "" {
+		return fmt.Errorf("-model is required")
+	}
+	var p *predictddl.Predictor
+	var err error
+	if *load != "" {
+		if p, err = predictddl.LoadPredictorFile(*load); err != nil {
+			return err
+		}
+		*ds = p.Dataset().Name
+	} else if p, err = trainOne(*ds, *quick); err != nil {
+		return err
+	}
+	var secs float64
+	where := fmt.Sprintf("%d servers", *servers)
+	switch {
+	case *topology != "":
+		c, lerr := cluster.LoadTopologyFile(*topology)
+		if lerr != nil {
+			return lerr
+		}
+		g, berr := predictddl.BuildModel(*model, p.Dataset())
+		if berr != nil {
+			return berr
+		}
+		secs, err = p.PredictGraph(g, c)
+		where = fmt.Sprintf("%d servers from %s", c.Size(), *topology)
+	case *spec != "":
+		s, lerr := predictddl.LookupServerSpec(*spec)
+		if lerr != nil {
+			return lerr
+		}
+		g, berr := predictddl.BuildModel(*model, p.Dataset())
+		if berr != nil {
+			return berr
+		}
+		secs, err = p.PredictGraph(g, predictddl.Homogeneous(*servers, s))
+	default:
+		secs, err = p.Predict(*model, *servers)
+	}
+	if err != nil {
+		return err
+	}
+	if closest, sim, cerr := p.Confidence(*model); cerr == nil {
+		fmt.Printf("%s on %s (%s): predicted training time %.1f s (%.2f h)\n"+
+			"confidence: closest known architecture %s (similarity %.3f)\n",
+			*model, where, *ds, secs, secs/3600, closest, sim)
+		return nil
+	}
+	fmt.Printf("%s on %s (%s): predicted training time %.1f s (%.2f h)\n",
+		*model, where, *ds, secs, secs/3600)
+	return nil
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "HTTP listen address")
+	datasets := fs.String("datasets", "cifar10", "comma-separated dataset types to train")
+	collectorAddr := fs.String("collector", "", "also run a resource collector on this TCP address")
+	quick := fs.Bool("quick", true, "downsized offline training")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var preds []*predictddl.Predictor
+	for _, ds := range strings.Split(*datasets, ",") {
+		ds = strings.TrimSpace(ds)
+		if ds == "" {
+			continue
+		}
+		p, err := trainOne(ds, *quick)
+		if err != nil {
+			return err
+		}
+		preds = append(preds, p)
+	}
+	if len(preds) == 0 {
+		return fmt.Errorf("no datasets specified")
+	}
+	ctrl := predictddl.NewController(preds...)
+	if *collectorAddr != "" {
+		col, err := cluster.NewCollector(*collectorAddr, cluster.CollectorOptions{})
+		if err != nil {
+			return err
+		}
+		defer col.Close()
+		ctrl.Collector = col
+		fmt.Fprintf(os.Stderr, "resource collector listening on %s\n", col.Addr())
+	}
+	fmt.Fprintf(os.Stderr, "controller listening on %s\n", *addr)
+	return http.ListenAndServe(*addr, ctrl.Handler())
+}

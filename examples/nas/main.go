@@ -1,0 +1,131 @@
+// NAS budget screening: use PredictDDL to accelerate neural-architecture
+// search, the paper's §III-A motivating application. A NAS run wants to
+// train hundreds of candidate architectures; PredictDDL prices each
+// candidate's distributed training time *before* spending cluster hours, so
+// the search can discard candidates that blow the time budget — with one
+// embedding + one regression evaluation per candidate instead of a pilot
+// training run.
+//
+// Run with: go run ./examples/nas
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"predictddl"
+)
+
+const (
+	candidates  = 40
+	clusterSize = 8
+	budgetSecs  = 60.0 // per-candidate training budget on the cluster
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nas: ")
+
+	p, err := predictddl.Train(predictddl.Options{
+		Dataset:   "cifar10",
+		GHNGraphs: 128,
+		GHNEpochs: 10,
+		Models: []string{
+			"resnet18", "resnet50", "vgg11", "vgg16", "alexnet",
+			"squeezenet1_1", "mobilenet_v2", "densenet121", "efficientnet_b0",
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec, err := predictddl.LookupServerSpec("cloudlab-p100")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster := predictddl.Homogeneous(clusterSize, spec)
+
+	var pool []candidate
+	for i := 0; i < candidates; i++ {
+		g := predictddl.RandomArchitecture(int64(1000+i), p.Dataset())
+		secs, err := p.PredictGraph(g, cluster)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool = append(pool, candidate{
+			id:        i,
+			graph:     g,
+			params:    float64(g.TotalParams()) / 1e6,
+			predicted: secs,
+		})
+	}
+	sort.Slice(pool, func(a, b int) bool { return pool[a].predicted < pool[b].predicted })
+
+	var kept int
+	for _, c := range pool {
+		if c.predicted <= budgetSecs {
+			kept++
+		}
+	}
+	fmt.Printf("screened %d candidate architectures on %d x %s in one pass\n",
+		candidates, clusterSize, spec.Name)
+	fmt.Printf("%d/%d fit the %.0fs-per-candidate training budget\n\n", kept, candidates, budgetSecs)
+
+	fmt.Printf("%-6s %-10s %-12s %-14s %s\n", "rank", "candidate", "params", "pred. time", "verdict")
+	show := func(c candidate, rank int) {
+		verdict := "train"
+		if c.predicted > budgetSecs {
+			verdict = "skip (over budget)"
+		}
+		fmt.Printf("%-6d #%-9d %9.2fM %12.1fs   %s\n", rank, c.id, c.params, c.predicted, verdict)
+	}
+	for i := 0; i < 5 && i < len(pool); i++ {
+		show(pool[i], i+1)
+	}
+	fmt.Println("  ...")
+	for i := len(pool) - 3; i < len(pool); i++ {
+		if i >= 5 {
+			show(pool[i], i+1)
+		}
+	}
+	fmt.Printf("\ntotal predicted GPU-cluster time saved by skipping over-budget candidates: %.0fs\n",
+		sumOverBudget(pool, budgetSecs))
+
+	// Beyond one-shot screening: evolutionary search over the generator's
+	// genome, maximizing depth under the same budget (internal/nas).
+	res, err := p.SearchArchitectures(predictddl.NASOptions{
+		Population:    16,
+		Generations:   4,
+		BudgetSeconds: budgetSecs,
+		Cluster:       cluster,
+		Seed:          7,
+	}, func(g *predictddl.Graph) float64 { return float64(g.Depth()) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nevolutionary search (%d candidates over 4 generations):\n", res.Evaluated)
+	fmt.Printf("  best within budget: depth %d, %.2fM params, predicted %.1fs\n",
+		res.Best.Graph.Depth(), float64(res.Best.Graph.TotalParams())/1e6, res.Best.PredictedSeconds)
+	fmt.Printf("  per-generation best depth: %v\n", res.GenerationBest)
+	fmt.Printf("  %d over-budget candidates skipped (%.0fs of cluster time avoided)\n",
+		res.OverBudget, res.PredictedTimeSaved)
+}
+
+// candidate is one sampled architecture with its predicted training cost.
+type candidate struct {
+	id        int
+	graph     *predictddl.Graph
+	params    float64 // millions
+	predicted float64 // seconds
+}
+
+func sumOverBudget(pool []candidate, budget float64) float64 {
+	var s float64
+	for _, c := range pool {
+		if c.predicted > budget {
+			s += c.predicted
+		}
+	}
+	return s
+}

@@ -1,0 +1,83 @@
+// Quickstart: train PredictDDL once for CIFAR-10, then predict the
+// distributed training time of several DNN architectures — including ones
+// the regressor never saw — on different cluster sizes, with zero
+// retraining between queries (the paper's core claim).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"predictddl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quickstart: ")
+
+	// One-time offline training: GHN on a synthetic architecture
+	// distribution + an execution-sample campaign + one regressor fit.
+	// (Downsized here so the example runs in seconds; drop the overrides
+	// for the full-fidelity pipeline.)
+	start := time.Now()
+	p, err := predictddl.Train(predictddl.Options{
+		Dataset: "cifar10",
+		Models: []string{ // campaign pool; resnet50 & vgg19 deliberately left out
+			"resnet18", "resnet34", "resnet101", "vgg11", "vgg16", "alexnet",
+			"squeezenet1_1", "mobilenet_v2", "densenet121", "efficientnet_b0",
+		},
+		GHNGraphs: 128,
+		GHNEpochs: 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("offline training finished in %v", time.Since(start).Round(time.Millisecond))
+
+	// Predict training times across architectures and cluster sizes. The
+	// starred models were never part of the campaign: the GHN embedding
+	// lets the predictor generalize to them without retraining.
+	fmt.Printf("\n%-22s %10s %10s %10s\n", "model", "2 servers", "8 servers", "16 servers")
+	for _, model := range []string{"resnet18", "vgg16", "resnet50*", "vgg19*", "mobilenet_v2"} {
+		name := model
+		if name[len(name)-1] == '*' {
+			name = name[:len(name)-1]
+		}
+		fmt.Printf("%-22s", model)
+		for _, servers := range []int{2, 8, 16} {
+			secs, err := p.Predict(name, servers)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %9.1fs", secs)
+		}
+		fmt.Println()
+	}
+
+	// Architecture similarity in the GHN embedding space (Fig. 5).
+	fmt.Println("\ncosine similarity in embedding space:")
+	for _, pair := range [][2]string{
+		{"vgg16", "vgg19"},
+		{"resnet18", "resnet34"},
+		{"vgg16", "mobilenet_v2"},
+	} {
+		sim, err := p.Similarity(pair[0], pair[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s vs %-14s %.4f\n", pair[0], pair[1], sim)
+	}
+
+	// Confidence: how close each query sits to the campaign architectures.
+	fmt.Println("\nprediction confidence (closest campaign architecture):")
+	for _, model := range []string{"resnet50", "vgg19", "mobilenet_v3_small"} {
+		closest, sim, err := p.Confidence(model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-20s → %-16s (similarity %.3f)\n", model, closest, sim)
+	}
+}

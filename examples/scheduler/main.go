@@ -1,0 +1,114 @@
+// Deadline-aware scheduling: use PredictDDL the way a cluster workload
+// manager (e.g. SLURM, the paper's opening example) would — to pick the
+// smallest cluster allocation that finishes a training job before its
+// deadline, instead of over-provisioning.
+//
+// For each submitted job the scheduler sweeps candidate cluster sizes,
+// queries the predictor, and allocates the cheapest size whose predicted
+// completion beats the deadline.
+//
+// Run with: go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"predictddl"
+)
+
+// job is one training request in the scheduler's queue.
+type job struct {
+	model    string
+	deadline float64 // seconds
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scheduler: ")
+
+	p, err := predictddl.Train(predictddl.Options{
+		Dataset:   "cifar10",
+		GHNGraphs: 128,
+		GHNEpochs: 10,
+		Models: []string{
+			"resnet18", "resnet50", "vgg11", "vgg16", "alexnet",
+			"squeezenet1_1", "mobilenet_v2", "densenet121", "efficientnet_b0",
+			"densenet161", "resnext50_32x4d",
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queue := []job{
+		{"squeezenet1_1", 10},
+		{"resnet18", 40},
+		{"resnet50", 90},
+		{"vgg16", 60},
+		{"densenet161", 200},
+		{"efficientnet_b0", 15},
+	}
+	const maxServers = 20
+	var allocated, rejected int
+	totalServers := 0
+
+	fmt.Printf("%-18s %10s %12s %14s\n", "job", "deadline", "allocation", "pred. time")
+	for _, j := range queue {
+		servers, predicted, err := smallestAllocation(p, j, maxServers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if servers == 0 {
+			fmt.Printf("%-18s %9.0fs %12s %14s\n", j.model, j.deadline, "rejected", "—")
+			rejected++
+			continue
+		}
+		fmt.Printf("%-18s %9.0fs %9d srv %13.1fs\n", j.model, j.deadline, servers, predicted)
+		allocated++
+		totalServers += servers
+	}
+	fmt.Printf("\n%d job(s) scheduled on %d total servers, %d rejected as infeasible within %d servers\n",
+		allocated, totalServers, rejected, maxServers)
+
+	// Full event-driven simulation on a shared 20-server partition (EDF),
+	// with actual runtimes from the ground-truth simulator.
+	sched, err := p.NewScheduler(maxServers, predictddl.EDF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var jobs []predictddl.SchedJob
+	for i, j := range queue {
+		g, err := predictddl.BuildModel(j.model, p.Dataset())
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs = append(jobs, predictddl.SchedJob{
+			ID:       fmt.Sprintf("%s#%d", j.model, i),
+			Graph:    g,
+			Deadline: j.deadline * 4, // shared partition: queueing eats slack
+		})
+	}
+	rep, err := sched.Simulate(jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nEDF timeline on the shared %d-server partition (deadlines met: %d/%d, utilization %.0f%%):\n\n",
+		maxServers, rep.DeadlinesMet, rep.Admitted, 100*rep.Utilization)
+	fmt.Print(rep.Gantt(64))
+}
+
+// smallestAllocation sweeps cluster sizes and returns the first size whose
+// predicted training time meets the deadline (0 when none does).
+func smallestAllocation(p *predictddl.Predictor, j job, maxServers int) (servers int, predicted float64, err error) {
+	for n := 1; n <= maxServers; n++ {
+		secs, err := p.Predict(j.model, n)
+		if err != nil {
+			return 0, 0, err
+		}
+		if secs <= j.deadline {
+			return n, secs, nil
+		}
+	}
+	return 0, 0, nil
+}

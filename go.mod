@@ -1,0 +1,3 @@
+module predictddl
+
+go 1.22

@@ -1,0 +1,284 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// wire message types exchanged between agents and the collector. The
+// protocol is newline-delimited JSON over TCP: an agent registers once with
+// its hardware spec, then streams utilization updates.
+const (
+	msgRegister = "register"
+	msgUpdate   = "update"
+	msgBye      = "bye"
+)
+
+type wireMessage struct {
+	Type           string     `json:"type"`
+	Hostname       string     `json:"hostname"`
+	Spec           ServerSpec `json:"spec,omitempty"`
+	CPUUtil        float64    `json:"cpu_util"`
+	GPUUtil        float64    `json:"gpu_util"`
+	DiskLoad       float64    `json:"disk_load"`
+	AvailableCores int        `json:"available_cores"`
+}
+
+// ServerInfo is one registered server as seen by the collector.
+type ServerInfo struct {
+	Hostname string
+	Server   Server
+	LastSeen time.Time
+}
+
+// Collector is the server side of the Cluster Resource Collector (§III-F):
+// it accepts agent connections on one goroutine and handles each connection
+// in a bounded worker pool, maintaining an inventory of live servers.
+// Entries not refreshed within TTL are dropped from snapshots.
+type Collector struct {
+	ln  net.Listener
+	ttl time.Duration
+	now func() time.Time
+
+	mu      sync.Mutex
+	servers map[string]*ServerInfo
+	conns   map[net.Conn]struct{} // live connections, closed on shutdown
+
+	sem    chan struct{} // bounds concurrent connection handlers
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// CollectorOptions tunes a Collector.
+type CollectorOptions struct {
+	// TTL is how long a registration stays valid without updates.
+	// Defaults to 30 s.
+	TTL time.Duration
+	// MaxHandlers bounds concurrent connection handlers. Defaults to 64.
+	MaxHandlers int
+}
+
+// NewCollector listens on addr (e.g. "127.0.0.1:0") and starts accepting
+// agents. Close must be called to release the listener.
+func NewCollector(addr string, opts CollectorOptions) (*Collector, error) {
+	if opts.TTL <= 0 {
+		opts.TTL = 30 * time.Second
+	}
+	if opts.MaxHandlers <= 0 {
+		opts.MaxHandlers = 64
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: collector listen: %w", err)
+	}
+	c := &Collector{
+		ln:      ln,
+		ttl:     opts.TTL,
+		now:     time.Now,
+		servers: make(map[string]*ServerInfo),
+		conns:   make(map[net.Conn]struct{}),
+		sem:     make(chan struct{}, opts.MaxHandlers),
+		closed:  make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the listener's address, useful when listening on port 0.
+func (c *Collector) Addr() string { return c.ln.Addr().String() }
+
+func (c *Collector) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			select {
+			case <-c.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		c.sem <- struct{}{}
+		c.wg.Add(1)
+		go func() {
+			defer func() {
+				<-c.sem
+				c.wg.Done()
+			}()
+			c.handle(conn)
+		}()
+	}
+}
+
+func (c *Collector) handle(conn net.Conn) {
+	c.mu.Lock()
+	select {
+	case <-c.closed:
+		c.mu.Unlock()
+		conn.Close()
+		return
+	default:
+	}
+	c.conns[conn] = struct{}{}
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.conns, conn)
+		c.mu.Unlock()
+		conn.Close()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	var hostname string
+	for {
+		var m wireMessage
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		switch m.Type {
+		case msgRegister:
+			if m.Hostname == "" || m.Spec.Validate() != nil {
+				return // malformed registration: drop the connection
+			}
+			hostname = m.Hostname
+			c.upsert(m)
+		case msgUpdate:
+			if hostname == "" || m.Hostname != hostname {
+				return // updates must follow a registration on the same conn
+			}
+			c.upsert(m)
+		case msgBye:
+			c.remove(hostname)
+			return
+		default:
+			return
+		}
+	}
+}
+
+func (c *Collector) upsert(m wireMessage) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	info, ok := c.servers[m.Hostname]
+	if !ok {
+		info = &ServerInfo{Hostname: m.Hostname}
+		c.servers[m.Hostname] = info
+	}
+	if m.Type == msgRegister {
+		info.Server.Spec = m.Spec
+	}
+	info.Server.CPUUtil = m.CPUUtil
+	info.Server.GPUUtil = m.GPUUtil
+	info.Server.DiskLoad = m.DiskLoad
+	info.Server.AvailableCores = m.AvailableCores
+	info.LastSeen = c.now()
+}
+
+func (c *Collector) remove(hostname string) {
+	if hostname == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.servers, hostname)
+}
+
+// Snapshot returns the live inventory sorted by hostname, excluding entries
+// older than the TTL.
+func (c *Collector) Snapshot() []ServerInfo {
+	cutoff := c.now().Add(-c.ttl)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ServerInfo, 0, len(c.servers))
+	for _, s := range c.servers {
+		if s.LastSeen.Before(cutoff) {
+			continue
+		}
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Hostname < out[j].Hostname })
+	return out
+}
+
+// Cluster assembles the live inventory into a Cluster for the Inference
+// Engine.
+func (c *Collector) Cluster() Cluster {
+	snap := c.Snapshot()
+	cl := Cluster{Servers: make([]Server, len(snap))}
+	for i, s := range snap {
+		cl.Servers[i] = s.Server
+	}
+	return cl
+}
+
+// Close stops accepting connections and waits for in-flight handlers.
+func (c *Collector) Close() error {
+	select {
+	case <-c.closed:
+		return nil
+	default:
+		close(c.closed)
+	}
+	err := c.ln.Close()
+	// Unblock handlers stuck reading from live agent connections.
+	c.mu.Lock()
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+	return err
+}
+
+// Agent is the client side of the resource collector: it runs on each
+// cluster server, registers the machine's spec, and streams utilization.
+type Agent struct {
+	conn     net.Conn
+	enc      *json.Encoder
+	hostname string
+}
+
+// DialAgent connects to a collector and registers this server.
+func DialAgent(addr, hostname string, spec ServerSpec) (*Agent, error) {
+	if hostname == "" {
+		return nil, fmt.Errorf("cluster: agent requires a hostname")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: agent dial: %w", err)
+	}
+	a := &Agent{conn: conn, enc: json.NewEncoder(conn), hostname: hostname}
+	if err := a.enc.Encode(wireMessage{Type: msgRegister, Hostname: hostname, Spec: spec}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: agent register: %w", err)
+	}
+	return a, nil
+}
+
+// Report streams one utilization sample to the collector.
+func (a *Agent) Report(cpuUtil, gpuUtil, diskLoad float64, availableCores int) error {
+	return a.enc.Encode(wireMessage{
+		Type: msgUpdate, Hostname: a.hostname,
+		CPUUtil: cpuUtil, GPUUtil: gpuUtil, DiskLoad: diskLoad,
+		AvailableCores: availableCores,
+	})
+}
+
+// Close deregisters from the collector and closes the connection.
+func (a *Agent) Close() error {
+	_ = a.enc.Encode(wireMessage{Type: msgBye, Hostname: a.hostname})
+	return a.conn.Close()
+}

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// rawSend dials the collector and writes raw bytes, returning the
+// connection for further use.
+func rawSend(t *testing.T, addr string, payload string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte(payload)); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// The collector must survive garbage, partial frames, and protocol abuse
+// without crashing or corrupting its inventory.
+func TestCollectorSurvivesGarbage(t *testing.T) {
+	col := newTestCollector(t)
+
+	payloads := []string{
+		"not json at all\n",
+		`{"type":"update","hostname":"ghost"}` + "\n",         // update before register
+		`{"type":"register","hostname":""}` + "\n",            // empty hostname
+		`{"type":"register","hostname":"x","spec":{}}` + "\n", // invalid spec
+		`{"type":"frobnicate","hostname":"y"}` + "\n",         // unknown type
+		`{"type":"register","hostname":"z","spec":`,           // truncated frame
+		"\x00\x01\x02\xff\xfe\n",                              // binary noise
+	}
+	var conns []net.Conn
+	for _, p := range payloads {
+		conns = append(conns, rawSend(t, col.Addr(), p))
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+
+	// None of it must have registered anything.
+	time.Sleep(20 * time.Millisecond)
+	if got := len(col.Snapshot()); got != 0 {
+		t.Fatalf("garbage registered %d servers", got)
+	}
+
+	// And a legitimate agent still works afterwards.
+	a, err := DialAgent(col.Addr(), "legit", SpecGPUP100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	waitFor(t, "post-garbage registration", func() bool { return len(col.Snapshot()) == 1 })
+}
+
+// An agent cannot spoof updates for a different hostname on its
+// connection: the collector drops the connection on mismatch.
+func TestCollectorRejectsHostnameSpoofing(t *testing.T) {
+	col := newTestCollector(t)
+	victim, err := DialAgent(col.Addr(), "victim", SpecGPUP100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+	waitFor(t, "victim registration", func() bool { return len(col.Snapshot()) == 1 })
+
+	// Attacker registers as itself, then tries to update the victim.
+	conn, err := net.Dial("tcp", col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	spec := SpecCPUE52650()
+	if err := enc.Encode(wireMessage{Type: msgRegister, Hostname: "attacker", Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "attacker registration", func() bool { return len(col.Snapshot()) == 2 })
+	if err := enc.Encode(wireMessage{Type: msgUpdate, Hostname: "victim", CPUUtil: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The victim's state must remain untouched.
+	time.Sleep(20 * time.Millisecond)
+	for _, s := range col.Snapshot() {
+		if s.Hostname == "victim" && s.Server.CPUUtil != 0 {
+			t.Fatal("spoofed update applied to victim")
+		}
+	}
+}
+
+// Re-registration from a new connection replaces the old state (server
+// reboot scenario).
+func TestCollectorReRegistration(t *testing.T) {
+	col := newTestCollector(t)
+	a1, err := DialAgent(col.Addr(), "node", SpecCPUE52630())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first registration", func() bool { return len(col.Snapshot()) == 1 })
+	if err := a1.Report(0.9, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "load update", func() bool {
+		s := col.Snapshot()
+		return len(s) == 1 && s[0].Server.CPUUtil == 0.9
+	})
+
+	// The machine "reboots" with a different class and fresh load.
+	a2, err := DialAgent(col.Addr(), "node", SpecGPUP100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	waitFor(t, "re-registration", func() bool {
+		s := col.Snapshot()
+		return len(s) == 1 && s[0].Server.Spec.HasGPU() && s[0].Server.CPUUtil == 0
+	})
+	a1.Close()
+}
+
+// Many agents churn (connect, report, disconnect) concurrently; the
+// collector must end consistent and reachable.
+func TestCollectorChurn(t *testing.T) {
+	col := newTestCollector(t)
+	const rounds = 3
+	const agents = 10
+	for r := 0; r < rounds; r++ {
+		done := make(chan error, agents)
+		for i := 0; i < agents; i++ {
+			go func(i int) {
+				a, err := DialAgent(col.Addr(), fmt.Sprintf("churn-%02d", i), SpecCPUE52650())
+				if err != nil {
+					done <- err
+					return
+				}
+				if err := a.Report(0.5, 0, 0, 0); err != nil {
+					done <- err
+					return
+				}
+				done <- a.Close()
+			}(i)
+		}
+		for i := 0; i < agents; i++ {
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// All agents said goodbye; the inventory drains.
+	waitFor(t, "inventory drain", func() bool { return len(col.Snapshot()) == 0 })
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it returns true or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func newTestCollector(t *testing.T) *Collector {
+	t.Helper()
+	c, err := NewCollector("127.0.0.1:0", CollectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestAgentRegistersAndUpdates(t *testing.T) {
+	col := newTestCollector(t)
+	a, err := DialAgent(col.Addr(), "node-1", SpecGPUP100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	waitFor(t, "registration", func() bool { return len(col.Snapshot()) == 1 })
+	snap := col.Snapshot()
+	if snap[0].Hostname != "node-1" || !snap[0].Server.Spec.HasGPU() {
+		t.Fatalf("snapshot = %+v", snap[0])
+	}
+
+	if err := a.Report(0.5, 0.25, 0.1, 10); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "utilization update", func() bool {
+		s := col.Snapshot()
+		return len(s) == 1 && s[0].Server.CPUUtil == 0.5
+	})
+	s := col.Snapshot()[0].Server
+	if s.GPUUtil != 0.25 || s.DiskLoad != 0.1 || s.AvailableCores != 10 {
+		t.Fatalf("update not applied: %+v", s)
+	}
+}
+
+func TestAgentByeRemovesServer(t *testing.T) {
+	col := newTestCollector(t)
+	a, err := DialAgent(col.Addr(), "node-1", SpecCPUE52630())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "registration", func() bool { return len(col.Snapshot()) == 1 })
+	a.Close()
+	waitFor(t, "deregistration", func() bool { return len(col.Snapshot()) == 0 })
+}
+
+func TestManyAgentsConcurrently(t *testing.T) {
+	col := newTestCollector(t)
+	const n = 20
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, err := DialAgent(col.Addr(), fmt.Sprintf("node-%02d", i), SpecCPUE52650())
+			if err != nil {
+				t.Errorf("agent %d: %v", i, err)
+				return
+			}
+			if err := a.Report(0.1, 0, 0, 0); err != nil {
+				t.Errorf("agent %d report: %v", i, err)
+			}
+			// Leave connections open so entries stay registered.
+		}(i)
+	}
+	wg.Wait()
+	waitFor(t, "all registrations", func() bool { return len(col.Snapshot()) == n })
+
+	// Snapshot must be sorted by hostname.
+	snap := col.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Hostname >= snap[i].Hostname {
+			t.Fatalf("snapshot not sorted: %q >= %q", snap[i-1].Hostname, snap[i].Hostname)
+		}
+	}
+	cl := col.Cluster()
+	if cl.Size() != n {
+		t.Fatalf("cluster size = %d, want %d", cl.Size(), n)
+	}
+	if err := cl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTTLExpiresStaleServers(t *testing.T) {
+	col := newTestCollector(t)
+	a, err := DialAgent(col.Addr(), "node-1", SpecCPUE52630())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	waitFor(t, "registration", func() bool { return len(col.Snapshot()) == 1 })
+
+	// Jump the collector's clock past the TTL; the entry must vanish from
+	// snapshots without any network activity.
+	col.mu.Lock()
+	col.now = func() time.Time { return time.Now().Add(col.ttl + time.Minute) }
+	col.mu.Unlock()
+	if got := len(col.Snapshot()); got != 0 {
+		t.Fatalf("stale server still visible: %d entries", got)
+	}
+}
+
+func TestMalformedRegistrationDropped(t *testing.T) {
+	col := newTestCollector(t)
+	// Invalid spec (zero cores) must be rejected.
+	if _, err := DialAgent(col.Addr(), "bad", ServerSpec{Name: "x"}); err == nil {
+		t.Fatal("expected client-side validation error")
+	}
+	// Empty hostname rejected client-side too.
+	if _, err := DialAgent(col.Addr(), "", SpecCPUE52630()); err == nil {
+		t.Fatal("expected hostname error")
+	}
+	if got := len(col.Snapshot()); got != 0 {
+		t.Fatalf("collector registered %d invalid servers", got)
+	}
+}
+
+func TestDialAgentConnectionRefused(t *testing.T) {
+	if _, err := DialAgent("127.0.0.1:1", "node", SpecCPUE52630()); err == nil {
+		t.Fatal("expected dial error")
+	}
+}
+
+func TestCollectorCloseIdempotent(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0", CollectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package cluster models the distributed execution environment PredictDDL
+// predicts for: server hardware specs, cluster configurations with partial
+// load, the per-core normalization of §III-C (Eq. 1–2), the feature vectors
+// the Inference Engine consumes, and the TCP Cluster Resource Collector of
+// §III-F.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ServerSpec describes one machine class: its processors, memory, storage
+// and network. FLOPS fields are peak single-precision throughput.
+type ServerSpec struct {
+	// Name identifies the machine class, e.g. "cloudlab-e5-2630".
+	Name string
+	// CPUModel and GPUModel are human-readable processor names.
+	CPUModel, GPUModel string
+	// Cores is the total CPU core count across sockets.
+	Cores int
+	// RAMBytes is installed memory.
+	RAMBytes int64
+	// DiskBytes is local disk capacity; DiskMBps its sequential throughput.
+	DiskBytes int64
+	DiskMBps  float64
+	// NICGbps is network interface bandwidth in gigabits per second.
+	NICGbps float64
+	// CPUGFLOPS is aggregate peak CPU throughput in GFLOP/s.
+	CPUGFLOPS float64
+	// GPUs is the number of accelerators; GPUGFLOPS the peak throughput of
+	// one accelerator; GPUMemBytes its memory.
+	GPUs        int
+	GPUGFLOPS   float64
+	GPUMemBytes int64
+}
+
+// HasGPU reports whether the machine class carries accelerators.
+func (s ServerSpec) HasGPU() bool { return s.GPUs > 0 }
+
+// PeakGFLOPS returns the server's peak compute throughput: the GPUs when
+// present (DL training runs on the accelerator), otherwise the CPUs.
+func (s ServerSpec) PeakGFLOPS() float64 {
+	if s.HasGPU() {
+		return float64(s.GPUs) * s.GPUGFLOPS
+	}
+	return s.CPUGFLOPS
+}
+
+// Validate checks the spec for impossible values.
+func (s ServerSpec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("cluster: server spec missing name")
+	case s.Cores <= 0:
+		return fmt.Errorf("cluster: spec %q has %d cores", s.Name, s.Cores)
+	case s.RAMBytes <= 0:
+		return fmt.Errorf("cluster: spec %q has no RAM", s.Name)
+	case s.CPUGFLOPS <= 0:
+		return fmt.Errorf("cluster: spec %q has no CPU throughput", s.Name)
+	case s.GPUs < 0:
+		return fmt.Errorf("cluster: spec %q has negative GPU count", s.Name)
+	case s.GPUs > 0 && s.GPUGFLOPS <= 0:
+		return fmt.Errorf("cluster: spec %q has GPUs but no GPU throughput", s.Name)
+	case s.NICGbps <= 0:
+		return fmt.Errorf("cluster: spec %q has no NIC bandwidth", s.Name)
+	}
+	return nil
+}
+
+// The three CloudLab machine classes of the paper's testbed (§IV-A1).
+// FLOPS figures are peak FP32 estimates for the named processors.
+
+// SpecCPUE52630 is the "two 8-core Intel E5-2630, 128 GB" CPU server class.
+func SpecCPUE52630() ServerSpec {
+	return ServerSpec{
+		Name:      "cloudlab-e5-2630",
+		CPUModel:  "2x Intel Xeon E5-2630 (8 cores each)",
+		Cores:     16,
+		RAMBytes:  128 << 30,
+		DiskBytes: 480 << 30,
+		DiskMBps:  500,
+		NICGbps:   10,
+		CPUGFLOPS: 614, // 16 cores x 2.4 GHz x 16 FLOP/cycle (AVX2 FMA)
+	}
+}
+
+// SpecCPUE52650 is the "one 8-core Intel E5-2650, 64 GB" CPU server class.
+func SpecCPUE52650() ServerSpec {
+	return ServerSpec{
+		Name:      "cloudlab-e5-2650",
+		CPUModel:  "Intel Xeon E5-2650 (8 cores)",
+		Cores:     8,
+		RAMBytes:  64 << 30,
+		DiskBytes: 480 << 30,
+		DiskMBps:  500,
+		NICGbps:   10,
+		CPUGFLOPS: 282, // 8 cores x 2.2 GHz x 16 FLOP/cycle
+	}
+}
+
+// SpecGPUP100 is the "two 10-core Xeon Silver 4114, 192 GB, NVIDIA P100
+// 12 GB over PCIe" GPU server class.
+func SpecGPUP100() ServerSpec {
+	return ServerSpec{
+		Name:        "cloudlab-p100",
+		CPUModel:    "2x Intel Xeon Silver 4114 (10 cores each)",
+		GPUModel:    "NVIDIA Tesla P100 12GB (PCIe)",
+		Cores:       20,
+		RAMBytes:    192 << 30,
+		DiskBytes:   480 << 30,
+		DiskMBps:    500,
+		NICGbps:     10,
+		CPUGFLOPS:   1056, // 20 cores x 2.2 GHz x 24 FLOP/cycle (AVX-512)
+		GPUs:        1,
+		GPUGFLOPS:   9300, // P100 peak FP32 ≈ 9.3 TFLOP/s
+		GPUMemBytes: 12 << 30,
+	}
+}
+
+// Specs returns the built-in machine classes keyed by name.
+func Specs() map[string]ServerSpec {
+	out := map[string]ServerSpec{}
+	for _, f := range []func() ServerSpec{SpecCPUE52630, SpecCPUE52650, SpecGPUP100} {
+		s := f()
+		out[s.Name] = s
+	}
+	return out
+}
+
+// SpecNames returns the sorted built-in machine class names.
+func SpecNames() []string {
+	m := Specs()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LookupSpec resolves a built-in machine class by name.
+func LookupSpec(name string) (ServerSpec, error) {
+	s, ok := Specs()[name]
+	if !ok {
+		return ServerSpec{}, fmt.Errorf("cluster: unknown server spec %q (known: %v)", name, SpecNames())
+	}
+	return s, nil
+}

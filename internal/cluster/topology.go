@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// TopologyEntry describes one group of identical servers in a topology
+// file.
+type TopologyEntry struct {
+	// Spec is a built-in machine-class name (see SpecNames).
+	Spec string `json:"spec"`
+	// Count is how many servers of this class join the cluster.
+	Count int `json:"count"`
+	// CPUUtil, GPUUtil, DiskLoad describe the group's current load.
+	CPUUtil  float64 `json:"cpu_util,omitempty"`
+	GPUUtil  float64 `json:"gpu_util,omitempty"`
+	DiskLoad float64 `json:"disk_load,omitempty"`
+	// AvailableCores caps schedulable cores per server (0 = all).
+	AvailableCores int `json:"available_cores,omitempty"`
+}
+
+// Topology is the JSON description of a (possibly heterogeneous, possibly
+// loaded) cluster, the file format cmd/predictddl accepts for custom
+// targets.
+type Topology struct {
+	Servers []TopologyEntry `json:"servers"`
+}
+
+// ReadTopology parses and materializes a cluster from JSON.
+func ReadTopology(r io.Reader) (Cluster, error) {
+	var topo Topology
+	if err := json.NewDecoder(r).Decode(&topo); err != nil {
+		return Cluster{}, fmt.Errorf("cluster: topology: %w", err)
+	}
+	return topo.Build()
+}
+
+// LoadTopologyFile reads a topology file from disk.
+func LoadTopologyFile(path string) (Cluster, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Cluster{}, fmt.Errorf("cluster: topology file: %w", err)
+	}
+	defer f.Close()
+	return ReadTopology(f)
+}
+
+// Build materializes the topology into a validated cluster.
+func (t Topology) Build() (Cluster, error) {
+	var c Cluster
+	for i, e := range t.Servers {
+		if e.Count < 1 {
+			return Cluster{}, fmt.Errorf("cluster: topology entry %d has count %d", i, e.Count)
+		}
+		spec, err := LookupSpec(e.Spec)
+		if err != nil {
+			return Cluster{}, fmt.Errorf("cluster: topology entry %d: %w", i, err)
+		}
+		for n := 0; n < e.Count; n++ {
+			s := NewServer(spec)
+			s.CPUUtil = e.CPUUtil
+			s.GPUUtil = e.GPUUtil
+			s.DiskLoad = e.DiskLoad
+			s.AvailableCores = e.AvailableCores
+			c.Servers = append(c.Servers, s)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return Cluster{}, err
+	}
+	return c, nil
+}

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadTopologyMixed(t *testing.T) {
+	js := `{"servers": [
+		{"spec": "cloudlab-p100", "count": 2, "gpu_util": 0.25},
+		{"spec": "cloudlab-e5-2650", "count": 3, "cpu_util": 0.5, "available_cores": 4}
+	]}`
+	c, err := ReadTopology(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 5 {
+		t.Fatalf("size = %d, want 5", c.Size())
+	}
+	if c.NumGPUs() != 2 {
+		t.Fatalf("gpus = %d", c.NumGPUs())
+	}
+	// Load carried through.
+	if c.Servers[0].GPUUtil != 0.25 {
+		t.Fatalf("gpu util = %v", c.Servers[0].GPUUtil)
+	}
+	if c.Servers[2].AvailableCores != 4 || c.Servers[2].EffectiveCores() != 4 {
+		t.Fatalf("cores = %+v", c.Servers[2])
+	}
+}
+
+func TestReadTopologyErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"servers": [{"spec": "unknown", "count": 1}]}`,
+		`{"servers": [{"spec": "cloudlab-p100", "count": 0}]}`,
+		`{"servers": []}`, // empty cluster fails validation
+	}
+	for i, js := range cases {
+		if _, err := ReadTopology(strings.NewReader(js)); err == nil {
+			t.Errorf("case %d accepted: %s", i, js)
+		}
+	}
+}
+
+func TestLoadTopologyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topo.json")
+	js := `{"servers": [{"spec": "cloudlab-e5-2630", "count": 4}]}`
+	if err := os.WriteFile(path, []byte(js), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadTopologyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 4 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	if _, err := LoadTopologyFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"predictddl/internal/cluster"
+	"predictddl/internal/graph"
+)
+
+// Controller is the entry point of PredictDDL (§III-D): its Listener
+// receives prediction requests over HTTP, the Task Checker validates them
+// and routes between the inference path and the offline-training path, and
+// responses carry the predicted training time.
+type Controller struct {
+	mu       sync.RWMutex
+	engines  map[string]*InferenceEngine // keyed by dataset name
+	registry *GHNRegistry
+
+	// Collector, when set, supplies the live cluster inventory so requests
+	// can omit explicit cluster configurations.
+	Collector *cluster.Collector
+}
+
+// NewController returns a controller serving the given engines.
+func NewController(registry *GHNRegistry, engines ...*InferenceEngine) *Controller {
+	c := &Controller{engines: make(map[string]*InferenceEngine), registry: registry}
+	for _, e := range engines {
+		c.engines[e.Dataset()] = e
+	}
+	return c
+}
+
+// AddEngine registers an inference engine for its dataset.
+func (c *Controller) AddEngine(e *InferenceEngine) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.engines[e.Dataset()] = e
+}
+
+// Engine returns the engine for a dataset.
+func (c *Controller) Engine(dataset string) (*InferenceEngine, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.engines[dataset]
+	if !ok {
+		return nil, fmt.Errorf("core: no inference engine for dataset %q", dataset)
+	}
+	return e, nil
+}
+
+// PredictRequest is the JSON body of POST /v1/predict — the user input of
+// Fig. 7 step 1: dataset type, DNN architecture, and cluster description.
+type PredictRequest struct {
+	// Dataset is the dataset type, e.g. "cifar10".
+	Dataset string `json:"dataset"`
+	// Model is a zoo architecture name, e.g. "resnet18". Mutually
+	// exclusive with Graph.
+	Model string `json:"model,omitempty"`
+	// Graph submits a custom DNN architecture as a computational-graph
+	// spec — the general path for workloads outside the built-in zoo
+	// (modern DL frameworks export this DAG automatically, §III-B).
+	Graph *graph.Spec `json:"graph,omitempty"`
+	// NumServers and ServerSpec describe the target cluster. When
+	// NumServers is 0 and a collector is attached, the live inventory is
+	// used instead.
+	NumServers int    `json:"num_servers"`
+	ServerSpec string `json:"server_spec"`
+}
+
+// PredictResponse is the JSON reply.
+type PredictResponse struct {
+	Dataset          string  `json:"dataset"`
+	Model            string  `json:"model"`
+	NumServers       int     `json:"num_servers"`
+	PredictedSeconds float64 `json:"predicted_seconds"`
+	Regressor        string  `json:"regressor"`
+}
+
+// checkRequest is the Task Checker (Fig. 7 step 3): it validates the
+// request and resolves the engine, architecture, and cluster.
+func (c *Controller) checkRequest(req PredictRequest) (*InferenceEngine, *graph.Graph, cluster.Cluster, error) {
+	if req.Dataset == "" {
+		return nil, nil, cluster.Cluster{}, fmt.Errorf("core: request missing dataset")
+	}
+	engine, err := c.Engine(req.Dataset)
+	if err != nil {
+		if c.registry != nil && !c.registry.Has(req.Dataset) {
+			return nil, nil, cluster.Cluster{}, fmt.Errorf("core: dataset %q has no trained GHN; submit it for offline training first", req.Dataset)
+		}
+		return nil, nil, cluster.Cluster{}, err
+	}
+	var g *graph.Graph
+	switch {
+	case req.Model != "" && req.Graph != nil:
+		return nil, nil, cluster.Cluster{}, fmt.Errorf("core: request must set model or graph, not both")
+	case req.Graph != nil:
+		var err error
+		g, err = graph.FromSpec(req.Graph)
+		if err != nil {
+			return nil, nil, cluster.Cluster{}, err
+		}
+	case req.Model != "":
+		var gcfg graph.Config
+		// Match the dataset sample shape when known; the zoo applies
+		// defaults otherwise.
+		switch req.Dataset {
+		case "tiny-imagenet":
+			gcfg = graph.Config{InputH: 64, InputW: 64, InputChannels: 3, NumClasses: 200}
+		}
+		var err error
+		g, err = graph.Build(req.Model, gcfg)
+		if err != nil {
+			return nil, nil, cluster.Cluster{}, err
+		}
+	default:
+		return nil, nil, cluster.Cluster{}, fmt.Errorf("core: request missing model (or custom graph)")
+	}
+
+	var cl cluster.Cluster
+	switch {
+	case req.NumServers > 0:
+		specName := req.ServerSpec
+		if specName == "" {
+			specName = cluster.SpecGPUP100().Name
+		}
+		spec, err := cluster.LookupSpec(specName)
+		if err != nil {
+			return nil, nil, cluster.Cluster{}, err
+		}
+		cl = cluster.Homogeneous(req.NumServers, spec)
+	case c.Collector != nil:
+		cl = c.Collector.Cluster()
+		if cl.Size() == 0 {
+			return nil, nil, cluster.Cluster{}, fmt.Errorf("core: live cluster inventory is empty")
+		}
+	default:
+		return nil, nil, cluster.Cluster{}, fmt.Errorf("core: request needs num_servers > 0 (no resource collector attached)")
+	}
+	return engine, g, cl, nil
+}
+
+// Handler returns the HTTP mux implementing the controller API.
+func (c *Controller) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", c.handlePredict)
+	mux.HandleFunc("/v1/batch", c.handleBatch)
+	mux.HandleFunc("/v1/status", c.handleStatus)
+	mux.HandleFunc("/v1/models", c.handleModels)
+	return mux
+}
+
+// BatchRequest submits several prediction requests at once — the Fig. 13
+// batch-job scenario over the wire.
+type BatchRequest struct {
+	Requests []PredictRequest `json:"requests"`
+}
+
+// BatchItem is one request's outcome; failed items carry Error and leave
+// the prediction zero, so one bad request does not fail the batch.
+type BatchItem struct {
+	PredictResponse
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse is the ordered list of per-request outcomes.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+func (c *Controller) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if len(req.Requests) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	resp := BatchResponse{Results: make([]BatchItem, len(req.Requests))}
+	for i, pr := range req.Requests {
+		item := &resp.Results[i]
+		engine, g, cl, err := c.checkRequest(pr)
+		if err != nil {
+			item.Error = err.Error()
+			continue
+		}
+		secs, err := engine.Predict(g, cl)
+		if err != nil {
+			item.Error = err.Error()
+			continue
+		}
+		model := pr.Model
+		if model == "" {
+			model = g.Name
+		}
+		item.PredictResponse = PredictResponse{
+			Dataset:          pr.Dataset,
+			Model:            model,
+			NumServers:       cl.Size(),
+			PredictedSeconds: secs,
+			Regressor:        engine.ModelName(),
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (c *Controller) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	engine, g, cl, err := c.checkRequest(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	secs, err := engine.Predict(g, cl)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	model := req.Model
+	if model == "" {
+		model = g.Name
+	}
+	writeJSON(w, PredictResponse{
+		Dataset:          req.Dataset,
+		Model:            model,
+		NumServers:       cl.Size(),
+		PredictedSeconds: secs,
+		Regressor:        engine.ModelName(),
+	})
+}
+
+// StatusResponse reports controller state.
+type StatusResponse struct {
+	Datasets    []string `json:"datasets"`
+	GHNDatasets []string `json:"ghn_datasets"`
+	LiveServers int      `json:"live_servers"`
+}
+
+func (c *Controller) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	c.mu.RLock()
+	datasets := make([]string, 0, len(c.engines))
+	for d := range c.engines {
+		datasets = append(datasets, d)
+	}
+	c.mu.RUnlock()
+	resp := StatusResponse{Datasets: datasets}
+	if c.registry != nil {
+		resp.GHNDatasets = c.registry.Datasets()
+	}
+	if c.Collector != nil {
+		resp.LiveServers = len(c.Collector.Snapshot())
+	}
+	writeJSON(w, resp)
+}
+
+func (c *Controller) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, map[string][]string{"models": graph.Zoo()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing recoverable.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

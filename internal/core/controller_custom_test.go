@@ -1,0 +1,182 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"predictddl/internal/cluster"
+	"predictddl/internal/graph"
+	"predictddl/internal/tensor"
+)
+
+// TestControllerCustomGraphPrediction exercises the general prediction
+// path: a custom (non-zoo) architecture submitted as a computational-graph
+// spec over HTTP.
+func TestControllerCustomGraphPrediction(t *testing.T) {
+	e, _ := sharedEngine(t)
+	ctrl := NewController(NewGHNRegistry(), e)
+	srv := httptest.NewServer(ctrl.Handler())
+	defer srv.Close()
+
+	custom := graph.RandomGraph(tensor.NewRNG(77), graph.DefaultConfig())
+	body, err := json.Marshal(PredictRequest{
+		Dataset:    "cifar10",
+		Graph:      custom.Spec(),
+		NumServers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.PredictedSeconds <= 0 {
+		t.Fatalf("predicted %v", pr.PredictedSeconds)
+	}
+	if pr.Model != custom.Name {
+		t.Fatalf("response model = %q, want graph name %q", pr.Model, custom.Name)
+	}
+}
+
+func TestControllerRejectsModelPlusGraph(t *testing.T) {
+	e, _ := sharedEngine(t)
+	ctrl := NewController(NewGHNRegistry(), e)
+	srv := httptest.NewServer(ctrl.Handler())
+	defer srv.Close()
+
+	custom := graph.RandomGraph(tensor.NewRNG(78), graph.DefaultConfig())
+	body, _ := json.Marshal(PredictRequest{
+		Dataset: "cifar10", Model: "resnet18", Graph: custom.Spec(), NumServers: 2,
+	})
+	resp, err := http.Post(srv.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestControllerRejectsInvalidCustomGraph(t *testing.T) {
+	e, _ := sharedEngine(t)
+	ctrl := NewController(NewGHNRegistry(), e)
+	srv := httptest.NewServer(ctrl.Handler())
+	defer srv.Close()
+
+	// Structurally invalid: a lone conv node with no input/output.
+	body, _ := json.Marshal(PredictRequest{
+		Dataset:    "cifar10",
+		Graph:      &graph.Spec{Name: "bad", Nodes: []graph.NodeSpec{{Op: "conv"}}},
+		NumServers: 2,
+	})
+	resp, err := http.Post(srv.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestControllerBatchEndpoint(t *testing.T) {
+	e, _ := sharedEngine(t)
+	ctrl := NewController(NewGHNRegistry(), e)
+	srv := httptest.NewServer(ctrl.Handler())
+	defer srv.Close()
+
+	req := BatchRequest{Requests: []PredictRequest{
+		{Dataset: "cifar10", Model: "resnet18", NumServers: 4},
+		{Dataset: "cifar10", Model: "no-such-model", NumServers: 4}, // fails per item
+		{Dataset: "cifar10", Model: "vgg16", NumServers: 8},
+	}}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 3 {
+		t.Fatalf("results = %d", len(br.Results))
+	}
+	if br.Results[0].PredictedSeconds <= 0 || br.Results[0].Error != "" {
+		t.Fatalf("item 0 = %+v", br.Results[0])
+	}
+	if br.Results[1].Error == "" {
+		t.Fatal("bad item did not carry an error")
+	}
+	if br.Results[2].PredictedSeconds <= 0 || br.Results[2].NumServers != 8 {
+		t.Fatalf("item 2 = %+v", br.Results[2])
+	}
+
+	// Empty batch and wrong method are rejected outright.
+	resp, err = http.Post(srv.URL+"/v1/batch", "application/json", bytes.NewReader([]byte(`{"requests":[]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/v1/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET batch status = %d", resp.StatusCode)
+	}
+}
+
+// The engine documents safety for concurrent use after training; hammer it
+// from many goroutines (run under -race to verify).
+func TestEngineConcurrentPredict(t *testing.T) {
+	e, _ := sharedEngine(t)
+	models := []string{"resnet18", "vgg16", "alexnet", "mobilenet_v2"}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, err := graph.Build(models[i%len(models)], graph.Config{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := e.Predict(g, cluster.Homogeneous(1+i%8, cluster.SpecGPUP100())); err != nil {
+				errs <- err
+				return
+			}
+			if _, _, err := e.Confidence(g); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

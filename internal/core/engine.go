@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"predictddl/internal/cluster"
+	"predictddl/internal/ghn"
+	"predictddl/internal/graph"
+	"predictddl/internal/regress"
+	"predictddl/internal/tensor"
+)
+
+// InferenceEngine predicts the training time of a DL workload from the
+// DNN's GHN embedding concatenated with cluster descriptor features
+// (§III-C). It is built once per dataset by the Offline Trainer and then
+// reused across arbitrary DNN architectures without retraining — the
+// paper's central claim.
+type InferenceEngine struct {
+	dataset string
+	ghn     *ghn.GHN
+	model   regress.Regressor
+
+	mu        sync.Mutex
+	cache     map[string][]float64 // architecture name → embedding
+	reference map[string][]float64 // campaign architectures for Confidence
+}
+
+// NewInferenceEngine assembles an engine from a trained GHN and a fitted
+// regressor whose input dimensionality must equal
+// ghn.EmbeddingDim() + len(cluster.FeatureNames()).
+func NewInferenceEngine(dataset string, g *ghn.GHN, model regress.Regressor) *InferenceEngine {
+	return &InferenceEngine{
+		dataset: dataset,
+		ghn:     g,
+		model:   model,
+		cache:   make(map[string][]float64),
+	}
+}
+
+// Dataset returns the dataset type this engine was trained for.
+func (e *InferenceEngine) Dataset() string { return e.dataset }
+
+// ModelName returns the underlying regressor family.
+func (e *InferenceEngine) ModelName() string { return e.model.Name() }
+
+// Embedding returns the (cached) GHN embedding for an architecture. Graphs
+// with empty names are embedded without caching.
+func (e *InferenceEngine) Embedding(g *graph.Graph) ([]float64, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	if g.Name == "" {
+		return e.ghn.Embed(g)
+	}
+	e.mu.Lock()
+	cached, ok := e.cache[g.Name]
+	e.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	emb, err := e.ghn.Embed(g)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.cache[g.Name] = emb
+	e.mu.Unlock()
+	return emb, nil
+}
+
+// Features builds the regression input: [embedding ‖ cluster features].
+func (e *InferenceEngine) Features(g *graph.Graph, c cluster.Cluster) ([]float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	emb, err := e.Embedding(g)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.Concat(emb, c.Features()), nil
+}
+
+// Predict estimates the training time in seconds for running the DNN on
+// the cluster. Negative regressor outputs are clamped to a small positive
+// floor (times are physical quantities).
+func (e *InferenceEngine) Predict(g *graph.Graph, c cluster.Cluster) (float64, error) {
+	feats, err := e.Features(g, c)
+	if err != nil {
+		return 0, err
+	}
+	pred, err := e.model.Predict(feats)
+	if err != nil {
+		return 0, err
+	}
+	if pred < 1e-6 {
+		pred = 1e-6
+	}
+	return pred, nil
+}
+
+// Similarity returns the cosine similarity between two architectures in
+// the GHN embedding space (Fig. 5's distance-based similarity).
+func (e *InferenceEngine) Similarity(a, b *graph.Graph) (float64, error) {
+	ea, err := e.Embedding(a)
+	if err != nil {
+		return 0, err
+	}
+	eb, err := e.Embedding(b)
+	if err != nil {
+		return 0, err
+	}
+	return tensor.CosineSimilarity(ea, eb), nil
+}
+
+// SetReference seeds the engine with the campaign architectures' embeddings
+// so Confidence can relate new workloads to known ones. The offline trainer
+// calls this with the embeddings it already computed.
+func (e *InferenceEngine) SetReference(embeddings map[string][]float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.reference = make(map[string][]float64, len(embeddings))
+	for name, emb := range embeddings {
+		e.reference[name] = tensor.CloneVec(emb)
+		e.cache[name] = e.reference[name]
+	}
+}
+
+// Confidence relates a workload to the campaign architectures: it returns
+// the name of the most similar known architecture and the cosine
+// similarity to it (centered on the reference set's mean, so dissimilar
+// architectures score low). Low confidence warns that a prediction is an
+// extrapolation — the paper's cosine-similarity machinery (§III-E) applied
+// as a trust signal.
+func (e *InferenceEngine) Confidence(g *graph.Graph) (string, float64, error) {
+	emb, err := e.Embedding(g)
+	if err != nil {
+		return "", 0, err
+	}
+	e.mu.Lock()
+	ref := e.reference
+	e.mu.Unlock()
+	if len(ref) == 0 {
+		return "", 0, fmt.Errorf("core: engine has no reference embeddings (trained before SetReference?)")
+	}
+	// Center on the reference mean: raw GHN embeddings share a large
+	// offset that pushes every cosine toward 1.
+	mean := make([]float64, len(emb))
+	for _, r := range ref {
+		tensor.AxpyInPlace(mean, r, 1/float64(len(ref)))
+	}
+	centered := tensor.SubVec(emb, mean)
+	bestName, bestSim := "", -2.0
+	for name, r := range ref {
+		if sim := tensor.CosineSimilarity(centered, tensor.SubVec(r, mean)); sim > bestSim {
+			bestName, bestSim = name, sim
+		}
+	}
+	return bestName, bestSim, nil
+}
+
+// ClosestMatch returns the candidate architecture most similar to target in
+// embedding space — how PredictDDL associates a new DNN with known ones
+// when there is no exact match (§III-E).
+func (e *InferenceEngine) ClosestMatch(target *graph.Graph, candidates []*graph.Graph) (*graph.Graph, float64, error) {
+	if len(candidates) == 0 {
+		return nil, 0, fmt.Errorf("core: no candidate architectures")
+	}
+	var best *graph.Graph
+	bestSim := -2.0
+	for _, cand := range candidates {
+		sim, err := e.Similarity(target, cand)
+		if err != nil {
+			return nil, 0, err
+		}
+		if sim > bestSim {
+			best, bestSim = cand, sim
+		}
+	}
+	return best, bestSim, nil
+}

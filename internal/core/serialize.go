@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"predictddl/internal/ghn"
+	"predictddl/internal/regress"
+)
+
+// engineCheckpoint is the on-disk format of a trained inference engine:
+// the dataset tag, the GHN weights, and the fitted regressor.
+type engineCheckpoint struct {
+	Dataset   string
+	GHNBlob   []byte
+	ModelBlob []byte
+	// RefNames/RefEmbeddings persist the Confidence reference set.
+	RefNames      []string
+	RefEmbeddings [][]float64
+}
+
+// Save serializes the engine so a controller can be restarted without
+// re-running the offline pipeline. Only the default regressor families
+// (linear / polynomial / log-target) persist; see regress.Save.
+func (e *InferenceEngine) Save(w io.Writer) error {
+	var ghnBuf bytes.Buffer
+	if err := e.ghn.Save(&ghnBuf); err != nil {
+		return err
+	}
+	var modelBuf bytes.Buffer
+	if err := regress.Save(&modelBuf, e.model); err != nil {
+		return err
+	}
+	ck := engineCheckpoint{Dataset: e.dataset, GHNBlob: ghnBuf.Bytes(), ModelBlob: modelBuf.Bytes()}
+	e.mu.Lock()
+	for name, emb := range e.reference {
+		ck.RefNames = append(ck.RefNames, name)
+		ck.RefEmbeddings = append(ck.RefEmbeddings, append([]float64(nil), emb...))
+	}
+	e.mu.Unlock()
+	if err := gob.NewEncoder(w).Encode(ck); err != nil {
+		return fmt.Errorf("core: save engine: %w", err)
+	}
+	return nil
+}
+
+// LoadEngine restores an engine written by Save.
+func LoadEngine(r io.Reader) (*InferenceEngine, error) {
+	var ck engineCheckpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("core: load engine: %w", err)
+	}
+	if ck.Dataset == "" {
+		return nil, fmt.Errorf("core: engine checkpoint missing dataset")
+	}
+	g, err := ghn.Load(bytes.NewReader(ck.GHNBlob))
+	if err != nil {
+		return nil, err
+	}
+	m, err := regress.Load(bytes.NewReader(ck.ModelBlob))
+	if err != nil {
+		return nil, err
+	}
+	e := NewInferenceEngine(ck.Dataset, g, m)
+	if len(ck.RefNames) > 0 {
+		if len(ck.RefNames) != len(ck.RefEmbeddings) {
+			return nil, fmt.Errorf("core: checkpoint reference set is inconsistent")
+		}
+		ref := make(map[string][]float64, len(ck.RefNames))
+		for i, name := range ck.RefNames {
+			ref[name] = ck.RefEmbeddings[i]
+		}
+		e.SetReference(ref)
+	}
+	return e, nil
+}

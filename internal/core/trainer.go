@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"predictddl/internal/dataset"
+	"predictddl/internal/ghn"
+	"predictddl/internal/graph"
+	"predictddl/internal/regress"
+	"predictddl/internal/simulator"
+	"predictddl/internal/tensor"
+)
+
+// DesignMatrix assembles the regression dataset from campaign points: each
+// row is [GHN embedding of the point's architecture ‖ cluster features] and
+// the target is the measured training time. Embeddings are computed once
+// per distinct architecture.
+func DesignMatrix(g *ghn.GHN, points []simulator.DataPoint, gcfg graph.Config) (*tensor.Matrix, []float64, error) {
+	x, y, _, err := DesignMatrixWithEmbeddings(g, points, gcfg)
+	return x, y, err
+}
+
+// DesignMatrixWithEmbeddings is DesignMatrix, additionally returning the
+// per-architecture embeddings so callers (the offline trainer) can seed the
+// engine's reference set without recomputing them.
+func DesignMatrixWithEmbeddings(g *ghn.GHN, points []simulator.DataPoint, gcfg graph.Config) (*tensor.Matrix, []float64, map[string][]float64, error) {
+	if len(points) == 0 {
+		return nil, nil, nil, fmt.Errorf("core: no campaign points")
+	}
+	embeddings := make(map[string][]float64)
+	for _, m := range simulator.Models(points) {
+		gr, err := graph.Build(m, gcfg)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("core: design matrix: %w", err)
+		}
+		emb, err := g.Embed(gr)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("core: embedding %q: %w", m, err)
+		}
+		embeddings[m] = emb
+	}
+	cols := g.EmbeddingDim() + len(points[0].ClusterFeatures)
+	x := tensor.NewMatrix(len(points), cols)
+	y := make([]float64, len(points))
+	for i, p := range points {
+		emb := embeddings[p.Model]
+		if len(emb)+len(p.ClusterFeatures) != cols {
+			return nil, nil, nil, fmt.Errorf("core: point %d has inconsistent feature width", i)
+		}
+		x.SetRow(i, tensor.Concat(emb, p.ClusterFeatures))
+		y[i] = p.Seconds
+	}
+	return x, y, embeddings, nil
+}
+
+// TrainOptions configures the Offline Trainer (Fig. 8 of the paper).
+type TrainOptions struct {
+	// Dataset selects the dataset type; the GHN registry is keyed by it.
+	Dataset dataset.Dataset
+	// GHNConfig shapes the hypernetwork (defaults: GHN-2 with d=32).
+	GHNConfig ghn.Config
+	// GHNTraining controls the proxy-objective training run.
+	GHNTraining ghn.TrainConfig
+	// GHN, when non-nil, skips GHN training and reuses a pre-trained
+	// model (the common path: the GHN is dataset-specific, not
+	// cluster-specific, so it survives cluster changes — §III-G).
+	GHN *ghn.GHN
+	// Campaign describes the execution-sample collection (which models on
+	// which machine class at which cluster sizes).
+	Campaign simulator.CampaignSpec
+	// Regressor is the prediction model; nil selects the paper's default,
+	// second-order polynomial regression.
+	Regressor regress.Regressor
+	// Simulator provides ground-truth measurements; nil uses seed 1 with
+	// default options.
+	Simulator *simulator.Simulator
+}
+
+// TrainResult is the Offline Trainer's output.
+type TrainResult struct {
+	// Engine is the ready-to-serve inference engine.
+	Engine *InferenceEngine
+	// Points are the collected execution samples.
+	Points []simulator.DataPoint
+	// GHNReport summarizes GHN training (zero-valued when a pre-trained
+	// GHN was supplied).
+	GHNReport ghn.TrainReport
+	// GHNTrainTime, CampaignTime, EmbedFitTime record wall-clock durations
+	// of the pipeline stages (used by the Fig. 13 batch study).
+	GHNTrainTime, CampaignTime, EmbedFitTime time.Duration
+}
+
+// TrainEngine runs the offline pipeline: train (or reuse) the dataset's
+// GHN, collect execution samples, embed every architecture, and fit the
+// prediction model.
+func TrainEngine(opts TrainOptions) (*TrainResult, error) {
+	if opts.Dataset.Name == "" {
+		return nil, fmt.Errorf("core: TrainOptions.Dataset is required")
+	}
+	res := &TrainResult{}
+
+	g := opts.GHN
+	if g == nil {
+		tc := opts.GHNTraining
+		if tc.GraphConfig == (graph.Config{}) {
+			tc.GraphConfig = opts.Dataset.GraphConfig()
+		}
+		start := time.Now()
+		trained, report, err := ghn.Train(opts.GHNConfig, tc)
+		if err != nil {
+			return nil, fmt.Errorf("core: offline GHN training: %w", err)
+		}
+		res.GHNTrainTime = time.Since(start)
+		res.GHNReport = report
+		g = trained
+	}
+
+	sim := opts.Simulator
+	if sim == nil {
+		sim = simulator.New(1, simulator.Options{})
+	}
+	campaign := opts.Campaign
+	if campaign.Dataset.Name == "" {
+		campaign.Dataset = opts.Dataset
+	}
+	start := time.Now()
+	points, err := sim.RunCampaign(campaign)
+	if err != nil {
+		return nil, fmt.Errorf("core: execution-sample collection: %w", err)
+	}
+	res.CampaignTime = time.Since(start)
+	res.Points = points
+
+	model := opts.Regressor
+	if model == nil {
+		// Generalized linear regression in log-time space. The paper rates
+		// LR and PR(2) as comparably accurate (Fig. 10); in log space the
+		// linear model is markedly more robust on architectures absent
+		// from the campaign, because quadratic terms extrapolate wildly
+		// off-distribution (see EXPERIMENTS.md).
+		model = regress.NewLogTarget(regress.NewLinearRegression())
+	}
+	start = time.Now()
+	x, y, embeddings, err := DesignMatrixWithEmbeddings(g, points, opts.Dataset.GraphConfig())
+	if err != nil {
+		return nil, err
+	}
+	if err := model.Fit(x, y); err != nil {
+		return nil, fmt.Errorf("core: fitting prediction model: %w", err)
+	}
+	res.EmbedFitTime = time.Since(start)
+
+	res.Engine = NewInferenceEngine(opts.Dataset.Name, g, model)
+	res.Engine.SetReference(embeddings)
+	return res, nil
+}

@@ -1,0 +1,129 @@
+// Package ernest reimplements Ernest (Venkataraman et al., NSDI'16), the
+// black-box performance-prediction baseline PredictDDL is evaluated against.
+// Ernest models a job's time as a non-negative combination of scaling terms
+//
+//	t(m) = θ₀ + θ₁·(1/m) + θ₂·log(m) + θ₃·m
+//
+// fitted with non-negative least squares over measured runs, and — crucially
+// for the paper's Fig. 13 — must be retrained from fresh measurements every
+// time the workload (the DNN) changes.
+package ernest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"predictddl/internal/tensor"
+)
+
+// NNLS solves min ‖Ax − b‖₂ subject to x ≥ 0 with the Lawson–Hanson
+// active-set algorithm, the solver Ernest prescribes.
+func NNLS(a *tensor.Matrix, b []float64) ([]float64, error) {
+	m, n := a.Rows(), a.Cols()
+	if len(b) != m {
+		return nil, fmt.Errorf("ernest: nnls rhs length %d != rows %d", len(b), m)
+	}
+	if m == 0 || n == 0 {
+		return nil, errors.New("ernest: nnls on empty system")
+	}
+
+	x := make([]float64, n)
+	passive := make([]bool, n) // true = in passive set P (free variable)
+	const tol = 1e-10
+	maxOuter := 3 * n
+
+	residual := tensor.CloneVec(b) // b − Ax, with x = 0 initially
+	for outer := 0; outer < maxOuter; outer++ {
+		// Gradient w = Aᵀ(b − Ax); pick the most violated constraint.
+		w, err := a.MulVecT(residual)
+		if err != nil {
+			return nil, err
+		}
+		best, bestVal := -1, tol
+		for j := 0; j < n; j++ {
+			if !passive[j] && w[j] > bestVal {
+				best, bestVal = j, w[j]
+			}
+		}
+		if best < 0 {
+			break // KKT satisfied
+		}
+		passive[best] = true
+
+		// Inner loop: solve the unconstrained LS on the passive set and
+		// back off along the segment when variables go negative.
+		for {
+			idx := passiveIndices(passive)
+			z, err := solveSubproblem(a, b, idx)
+			if err != nil {
+				return nil, err
+			}
+			minZ := math.Inf(1)
+			for _, v := range z {
+				if v < minZ {
+					minZ = v
+				}
+			}
+			if minZ > tol {
+				for k, j := range idx {
+					x[j] = z[k]
+				}
+				break
+			}
+			// Step as far toward z as feasibility allows.
+			alpha := math.Inf(1)
+			for k, j := range idx {
+				if z[k] <= tol {
+					if d := x[j] - z[k]; d > 0 {
+						if r := x[j] / d; r < alpha {
+							alpha = r
+						}
+					}
+				}
+			}
+			if math.IsInf(alpha, 1) {
+				alpha = 0
+			}
+			for k, j := range idx {
+				x[j] += alpha * (z[k] - x[j])
+				if x[j] <= tol {
+					x[j] = 0
+					passive[j] = false
+				}
+			}
+		}
+		// Refresh the residual.
+		ax, err := a.MulVec(x)
+		if err != nil {
+			return nil, err
+		}
+		residual = tensor.SubVec(b, ax)
+	}
+	return x, nil
+}
+
+func passiveIndices(passive []bool) []int {
+	var idx []int
+	for j, p := range passive {
+		if p {
+			idx = append(idx, j)
+		}
+	}
+	return idx
+}
+
+// solveSubproblem solves unconstrained least squares restricted to the
+// passive columns idx.
+func solveSubproblem(a *tensor.Matrix, b []float64, idx []int) ([]float64, error) {
+	sub := tensor.NewMatrix(a.Rows(), len(idx))
+	for i := 0; i < a.Rows(); i++ {
+		row := a.Row(i)
+		srow := sub.Row(i)
+		for k, j := range idx {
+			srow[k] = row[j]
+		}
+	}
+	// Ridge with a tiny λ keeps near-collinear scaling terms solvable.
+	return tensor.RidgeSolve(sub, b, 1e-12)
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"predictddl/internal/regress"
+	"predictddl/internal/simulator"
+	"predictddl/internal/tensor"
+)
+
+// Fig0102Result is one row of the paper's Fig. 1 (VGG-16) or Fig. 2
+// (MobileNet-V3) motivation study: RMSE of a linear regressor predicting a
+// target model's training time, with and without DNN-specific features.
+type Fig0102Result struct {
+	// Model is the target workload.
+	Model string
+	// BlackBoxRMSE uses only external features (cluster descriptors).
+	BlackBoxRMSE float64
+	// GrayBoxRMSE adds the layer and parameter counts.
+	GrayBoxRMSE float64
+	// ImprovementPct is the RMSE reduction from black box to gray box
+	// (paper: up to 99.5% for VGG-16, 91.2% for MobileNet-V3).
+	ImprovementPct float64
+}
+
+// String formats the row.
+func (r Fig0102Result) String() string {
+	return fmt.Sprintf("%-20s black-box RMSE %10.2f s | gray-box RMSE %8.2f s | improvement %5.1f%%",
+		r.Model, r.BlackBoxRMSE, r.GrayBoxRMSE, r.ImprovementPct)
+}
+
+// Fig01VGG16 reproduces Fig. 1.
+func Fig01VGG16(lab *Lab) (Fig0102Result, error) { return blackVsGrayBox(lab, "vgg16") }
+
+// Fig02MobileNetV3 reproduces Fig. 2.
+func Fig02MobileNetV3(lab *Lab) (Fig0102Result, error) {
+	return blackVsGrayBox(lab, "mobilenet_v3_large")
+}
+
+// fig0102Models are the two DNNs of the paper's §II motivation study; the
+// regression data contains only their runs, so a black-box model that
+// cannot tell them apart is forced to average two very different scaling
+// curves — the effect Fig. 1–2 demonstrates.
+var fig0102Models = []string{"vgg16", "mobilenet_v3_large"}
+
+// blackVsGrayBox trains linear regressors on an 80/20 split of the two
+// models' CIFAR-10 runs and reports test RMSE restricted to the target
+// model's held-out points.
+func blackVsGrayBox(lab *Lab, model string) (Fig0102Result, error) {
+	all, err := lab.Campaign(lab.CIFAR10())
+	if err != nil {
+		return Fig0102Result{}, err
+	}
+	var points []simulator.DataPoint
+	for _, m := range fig0102Models {
+		points = append(points, filterModel(all, m)...)
+	}
+	rng := tensor.NewRNG(lab.Seed + 101)
+	trainIdx, testIdx := splitByRNG(len(points), 0.8, rng)
+	trainPts := takePoints(points, trainIdx)
+	testPts := filterModel(takePoints(points, testIdx), model)
+	if len(testPts) == 0 {
+		// Guarantee the target model appears in the test set by moving its
+		// first training occurrence over (tiny campaigns in tests).
+		for i, p := range trainPts {
+			if p.Model == model {
+				testPts = append(testPts, p)
+				trainPts = append(trainPts[:i], trainPts[i+1:]...)
+				break
+			}
+		}
+		if len(testPts) == 0 {
+			return Fig0102Result{}, fmt.Errorf("experiments: model %q not in campaign", model)
+		}
+	}
+
+	rmseFor := func(kind featureKind) (float64, error) {
+		xTrain, yTrain, err := buildDesign(trainPts, kind, nil)
+		if err != nil {
+			return 0, err
+		}
+		xTest, yTest, err := buildDesign(testPts, kind, nil)
+		if err != nil {
+			return 0, err
+		}
+		m := regress.NewLinearRegression()
+		if err := m.Fit(xTrain, yTrain); err != nil {
+			return 0, err
+		}
+		pred, err := regress.PredictAll(m, xTest)
+		if err != nil {
+			return 0, err
+		}
+		return regress.RMSE(pred, yTest), nil
+	}
+
+	black, err := rmseFor(featBlackBox)
+	if err != nil {
+		return Fig0102Result{}, err
+	}
+	gray, err := rmseFor(featLayersParams)
+	if err != nil {
+		return Fig0102Result{}, err
+	}
+	res := Fig0102Result{Model: model, BlackBoxRMSE: black, GrayBoxRMSE: gray}
+	if black > 0 {
+		res.ImprovementPct = 100 * (black - gray) / black
+	}
+	return res, nil
+}
+
+func filterModel(points []simulator.DataPoint, model string) []simulator.DataPoint {
+	return simulator.FilterModel(points, model)
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"predictddl/internal/graph"
+	"predictddl/internal/tensor"
+)
+
+// Fig05Similarity reproduces the Fig. 5 visualization: the cosine
+// similarity matrix of architecture embeddings. Same-family architectures
+// should be more similar than cross-family pairs.
+type Fig05Similarity struct {
+	Models []string
+	// Matrix[i][j] is the cosine similarity of Models[i] and Models[j].
+	Matrix [][]float64
+	// Coords are 2-D PCA projections of the embeddings — the planar view
+	// Fig. 5 sketches.
+	Coords [][2]float64
+}
+
+// fig05Models spans four families for a readable matrix.
+func fig05Models() []string {
+	return []string{
+		"vgg11", "vgg16", "vgg19",
+		"resnet18", "resnet50",
+		"mobilenet_v3_small", "mobilenet_v3_large",
+		"squeezenet1_0",
+	}
+}
+
+// Fig05EmbeddingSpace embeds a family-spanning model set and returns the
+// pairwise similarity matrix.
+func Fig05EmbeddingSpace(lab *Lab) (Fig05Similarity, error) {
+	d := lab.CIFAR10()
+	g, err := lab.GHN(d)
+	if err != nil {
+		return Fig05Similarity{}, err
+	}
+	models := fig05Models()
+	embs := make([][]float64, len(models))
+	for i, m := range models {
+		gr, err := graph.Build(m, d.GraphConfig())
+		if err != nil {
+			return Fig05Similarity{}, err
+		}
+		if embs[i], err = g.Embed(gr); err != nil {
+			return Fig05Similarity{}, err
+		}
+	}
+	// Center the embeddings on the set's mean before measuring angles:
+	// raw GHN embeddings share a large common offset that pushes every
+	// raw cosine toward 1 and hides the family structure.
+	mean := make([]float64, len(embs[0]))
+	for _, e := range embs {
+		tensor.AxpyInPlace(mean, e, 1/float64(len(embs)))
+	}
+	for i := range embs {
+		embs[i] = tensor.SubVec(embs[i], mean)
+	}
+	mat := make([][]float64, len(models))
+	for i := range mat {
+		mat[i] = make([]float64, len(models))
+		for j := range mat[i] {
+			mat[i][j] = tensor.CosineSimilarity(embs[i], embs[j])
+		}
+	}
+	// 2-D PCA projection for the planar Fig. 5 view.
+	em := tensor.NewMatrix(len(embs), len(embs[0]))
+	for i, e := range embs {
+		em.SetRow(i, e)
+	}
+	pca, err := tensor.FitPCA(em, 2)
+	if err != nil {
+		return Fig05Similarity{}, err
+	}
+	coords := make([][2]float64, len(embs))
+	for i := range embs {
+		p := pca.Transform(embs[i])
+		coords[i] = [2]float64{p[0], p[1]}
+	}
+	return Fig05Similarity{Models: models, Matrix: mat, Coords: coords}, nil
+}
+
+// String renders the similarity matrix as a table.
+func (s Fig05Similarity) String() string {
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("%-20s", ""))
+	for _, m := range s.Models {
+		b.WriteString(fmt.Sprintf("%10.10s", m))
+	}
+	b.WriteByte('\n')
+	for i, m := range s.Models {
+		b.WriteString(fmt.Sprintf("%-20s", m))
+		for j := range s.Models {
+			b.WriteString(fmt.Sprintf("%10.3f", s.Matrix[i][j]))
+		}
+		b.WriteByte('\n')
+	}
+	if len(s.Coords) == len(s.Models) {
+		b.WriteString("\n2-D PCA projection of the embedding space:\n")
+		for i, m := range s.Models {
+			b.WriteString(fmt.Sprintf("  %-20s (%8.3f, %8.3f)\n", m, s.Coords[i][0], s.Coords[i][1]))
+		}
+	}
+	return b.String()
+}

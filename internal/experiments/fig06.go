@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"predictddl/internal/dataset"
+	"predictddl/internal/regress"
+	"predictddl/internal/tensor"
+)
+
+// Fig06Row is one bar of the paper's Fig. 6 feature-ablation study: the
+// mean predicted/actual ratio (closer to 1 is better) of a second-order
+// polynomial regressor using one DNN-descriptive feature set.
+type Fig06Row struct {
+	Dataset  string
+	Features string
+	// Ratio is mean(predicted/actual) on held-out points.
+	Ratio float64
+	// MeanRelErr is mean(|predicted−actual|/actual).
+	MeanRelErr float64
+}
+
+// String formats the row.
+func (r Fig06Row) String() string {
+	return fmt.Sprintf("%-14s %-18s ratio %6.3f | mean rel err %6.1f%%",
+		r.Dataset, r.Features, r.Ratio, 100*r.MeanRelErr)
+}
+
+// Fig06FeatureAblation reproduces Fig. 6 on both evaluation datasets:
+// GHN embeddings vs layer counts vs parameter counts vs combinations.
+// Expected shape: the GHN embedding dominates the scalar features (paper:
+// 96.4%/97.4% lower error than layers/params), and combining features does
+// not beat the embedding alone.
+func Fig06FeatureAblation(lab *Lab) ([]Fig06Row, error) {
+	var rows []Fig06Row
+	for _, d := range []dataset.Dataset{lab.CIFAR10(), lab.TinyImageNet()} {
+		points, err := lab.Campaign(d)
+		if err != nil {
+			return nil, err
+		}
+		g, err := lab.GHN(d)
+		if err != nil {
+			return nil, err
+		}
+		embeddings, err := embedModels(g, points, d.GraphConfig())
+		if err != nil {
+			return nil, err
+		}
+		rng := tensor.NewRNG(lab.Seed + 106)
+		trainIdx, testIdx := splitByRNG(len(points), 0.8, rng)
+		trainPts, testPts := takePoints(points, trainIdx), takePoints(points, testIdx)
+
+		for _, kind := range []featureKind{featLayers, featParams, featLayersParams, featGHN, featGHNPlus} {
+			xTrain, yTrain, err := buildDesign(trainPts, kind, embeddings)
+			if err != nil {
+				return nil, err
+			}
+			xTest, yTest, err := buildDesign(testPts, kind, embeddings)
+			if err != nil {
+				return nil, err
+			}
+			// The paper's Fig. 6 regressor: second-order polynomial
+			// (fitted in log space for positivity; see DESIGN.md).
+			m := regress.NewLogTarget(regress.NewPolynomialRegression(2))
+			if err := m.Fit(xTrain, yTrain); err != nil {
+				return nil, err
+			}
+			pred, err := regress.PredictAll(m, xTest)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig06Row{
+				Dataset:    d.Name,
+				Features:   kind.String(),
+				Ratio:      regress.RelativeRatio(pred, yTest),
+				MeanRelErr: regress.MeanRelativeError(pred, yTest),
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"predictddl/internal/regress"
+	"predictddl/internal/tensor"
+)
+
+// Fig11Row is one bar of the paper's Fig. 11: prediction quality for one
+// CIFAR-10 workload under one train/test split ratio.
+type Fig11Row struct {
+	Workload string
+	// Split is the train fraction (0.5, 0.67, 0.8).
+	Split float64
+	// Ratio is mean(predicted/actual) on the workload's held-out points.
+	Ratio float64
+	// MeanRelErr is mean(|pred−actual|/actual).
+	MeanRelErr float64
+}
+
+// String formats the row.
+func (r Fig11Row) String() string {
+	return fmt.Sprintf("%-20s split %2.0f/%2.0f  ratio %6.3f | mean rel err %6.1f%%",
+		r.Workload, 100*r.Split, 100*(1-r.Split), r.Ratio, 100*r.MeanRelErr)
+}
+
+// fig11Workloads are the five CIFAR-10 workloads the paper reports.
+func fig11Workloads() []string {
+	return []string{"efficientnet_b0", "vgg16", "alexnet", "resnet18", "mobilenet_v3_large"}
+}
+
+// Fig11SplitSensitivity reproduces Fig. 11: the 50/50, 67/33, and 80/20
+// train/test splits. Expected shape: accuracy is already good at 50/50 and
+// does not materially improve with more training data.
+func Fig11SplitSensitivity(lab *Lab) ([]Fig11Row, error) {
+	d := lab.CIFAR10()
+	points, err := lab.Campaign(d)
+	if err != nil {
+		return nil, err
+	}
+	g, err := lab.GHN(d)
+	if err != nil {
+		return nil, err
+	}
+	embeddings, err := embedModels(g, points, d.GraphConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Fig11Row
+	for _, split := range []float64{0.5, 0.67, 0.8} {
+		rng := tensor.NewRNG(lab.Seed + 111)
+		trainIdx, testIdx := splitByRNG(len(points), split, rng)
+		trainPts, testPts := takePoints(points, trainIdx), takePoints(points, testIdx)
+		xTrain, yTrain, err := buildDesign(trainPts, featGHN, embeddings)
+		if err != nil {
+			return nil, err
+		}
+		// Same regressor as Fig. 9 (the paper's PR-2).
+		m := regress.NewLogTarget(regress.NewPolynomialRegression(2))
+		if err := m.Fit(xTrain, yTrain); err != nil {
+			return nil, err
+		}
+		for _, w := range fig11Workloads() {
+			wPts := filterModel(testPts, w)
+			if len(wPts) == 0 {
+				continue
+			}
+			var pred, actual []float64
+			for _, p := range wPts {
+				feats := tensor.Concat(p.ClusterFeatures, embeddings[p.Model])
+				pv, err := m.Predict(feats)
+				if err != nil {
+					return nil, err
+				}
+				pred = append(pred, pv)
+				actual = append(actual, p.Seconds)
+			}
+			rows = append(rows, Fig11Row{
+				Workload:   w,
+				Split:      split,
+				Ratio:      regress.RelativeRatio(pred, actual),
+				MeanRelErr: regress.MeanRelativeError(pred, actual),
+			})
+		}
+	}
+	return rows, nil
+}

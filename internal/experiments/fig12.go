@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"predictddl/internal/regress"
+	"predictddl/internal/simulator"
+	"predictddl/internal/tensor"
+)
+
+// Fig12Row is one bar of the paper's Fig. 12: prediction quality at a
+// specific execution cluster size.
+type Fig12Row struct {
+	Workload string
+	// Servers is the cluster size whose points were held out (4, 8, 16).
+	Servers int
+	// Ratio is mean(predicted/actual) at that size.
+	Ratio float64
+	// RelErr is mean(|pred−actual|/actual) at that size.
+	RelErr float64
+}
+
+// String formats the row.
+func (r Fig12Row) String() string {
+	return fmt.Sprintf("%-20s %2d servers  ratio %6.3f | rel err %6.1f%%",
+		r.Workload, r.Servers, r.Ratio, 100*r.RelErr)
+}
+
+// Fig12ClusterSize reproduces Fig. 12: for each of 4, 8, and 16 servers,
+// every point at that cluster size is held out, the predictor is trained
+// on the rest, and the held-out size is predicted. Paper band: errors from
+// 0.1% to 23.5%, effective at every scale.
+func Fig12ClusterSize(lab *Lab) ([]Fig12Row, error) {
+	d := lab.CIFAR10()
+	points, err := lab.Campaign(d)
+	if err != nil {
+		return nil, err
+	}
+	g, err := lab.GHN(d)
+	if err != nil {
+		return nil, err
+	}
+	embeddings, err := embedModels(g, points, d.GraphConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Fig12Row
+	for _, servers := range []int{4, 8, 16} {
+		var trainPts, testPts []simulator.DataPoint
+		for _, p := range points {
+			if p.NumServers == servers {
+				testPts = append(testPts, p)
+			} else {
+				trainPts = append(trainPts, p)
+			}
+		}
+		if len(testPts) == 0 {
+			continue // campaign did not cover this size (small test labs)
+		}
+		xTrain, yTrain, err := buildDesign(trainPts, featGHN, embeddings)
+		if err != nil {
+			return nil, err
+		}
+		m := regress.NewLogTarget(regress.NewPolynomialRegression(2))
+		if err := m.Fit(xTrain, yTrain); err != nil {
+			return nil, err
+		}
+		for _, w := range TableIICIFAR10() {
+			wPts := filterModel(testPts, w)
+			if len(wPts) == 0 {
+				continue
+			}
+			var pred, actual []float64
+			for _, p := range wPts {
+				pv, err := m.Predict(tensor.Concat(p.ClusterFeatures, embeddings[p.Model]))
+				if err != nil {
+					return nil, err
+				}
+				pred = append(pred, pv)
+				actual = append(actual, p.Seconds)
+			}
+			rows = append(rows, Fig12Row{
+				Workload: w,
+				Servers:  servers,
+				Ratio:    regress.RelativeRatio(pred, actual),
+				RelErr:   regress.MeanRelativeError(pred, actual),
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"predictddl/internal/cluster"
+	"predictddl/internal/ernest"
+	"predictddl/internal/graph"
+	"predictddl/internal/regress"
+	"predictddl/internal/simulator"
+	"predictddl/internal/tensor"
+)
+
+// Fig13Row is one batch size of the paper's Fig. 13 scalability study.
+type Fig13Row struct {
+	// BatchModels is the number of DL workloads submitted together.
+	BatchModels int
+	// PredictDDLTrain is PredictDDL's one-time prediction-model fitting
+	// wall-clock for the batch (paid once regardless of batch size).
+	PredictDDLTrain time.Duration
+	// PredictDDLInfer is the per-batch embedding + inference wall-clock.
+	PredictDDLInfer time.Duration
+	// ErnestCollect is the testbed time Ernest's protocol spends running
+	// pilot configurations of each new workload (simulated seconds — this
+	// is execution on the cluster, not CPU time in the predictor).
+	ErnestCollect time.Duration
+	// ErnestFit is Ernest's model-fitting wall-clock across the batch.
+	ErnestFit time.Duration
+	// Speedup is Ernest's total over PredictDDL's total. The paper
+	// reports 2.6/5.1/7.7/10.3x for batches of 2/4/6/8; the shape —
+	// monotonic growth as PredictDDL's one-time cost amortizes — is the
+	// reproducible claim (see EXPERIMENTS.md for the magnitude
+	// discussion).
+	Speedup float64
+}
+
+// Totals returns each system's end-to-end duration.
+func (r Fig13Row) Totals() (predictDDL, ernest time.Duration) {
+	return r.PredictDDLTrain + r.PredictDDLInfer, r.ErnestCollect + r.ErnestFit
+}
+
+// String formats the row.
+func (r Fig13Row) String() string {
+	p, e := r.Totals()
+	return fmt.Sprintf("batch %d: PredictDDL %12v (train %v + infer %v) | Ernest %12v (collect %v + fit %v) | speedup %6.1fx",
+		r.BatchModels, p, r.PredictDDLTrain, r.PredictDDLInfer, e, r.ErnestCollect, r.ErnestFit, r.Speedup)
+}
+
+// ernestPilotConfigs are the cluster sizes Ernest's experiment design
+// samples when profiling a new workload.
+var ernestPilotConfigs = []int{1, 2, 4, 8}
+
+// ernestPilotEpochs is the short profiling run length (Ernest executes the
+// target job on a small data fraction / few iterations).
+const ernestPilotEpochs = 1
+
+// Fig13BatchJobs reproduces Fig. 13: batches of 2/4/6/8 Table-II workloads
+// are submitted for prediction. PredictDDL fits its prediction model once
+// on the existing campaign and then only embeds + infers per workload;
+// Ernest must execute pilot runs of every new workload to collect the
+// fresh measurements its black-box model needs, then refit per workload.
+func Fig13BatchJobs(lab *Lab) ([]Fig13Row, error) {
+	d := lab.CIFAR10()
+	points, err := lab.Campaign(d)
+	if err != nil {
+		return nil, err
+	}
+	g, err := lab.GHN(d)
+	if err != nil {
+		return nil, err
+	}
+	spec := lab.SpecFor(d)
+	sim := lab.Simulator()
+
+	// The batch pool: Table-II workloads cycled to fill 8 slots.
+	pool := TableIICIFAR10()
+
+	// --- PredictDDL: one-time regressor fit on existing samples. It is
+	// paid exactly once, so measure it once and charge every batch the
+	// same amount (re-measuring per batch would only add timer jitter).
+	start := time.Now()
+	embeddings, err := embedModels(g, points, d.GraphConfig())
+	if err != nil {
+		return nil, err
+	}
+	x, y, err := buildDesign(points, featGHN, embeddings)
+	if err != nil {
+		return nil, err
+	}
+	pddl := regress.NewLogTarget(regress.NewPolynomialRegression(2))
+	if err := pddl.Fit(x, y); err != nil {
+		return nil, err
+	}
+	trainDur := time.Since(start)
+
+	var rows []Fig13Row
+	for _, batch := range []int{2, 4, 6, 8} {
+		models := make([]string, batch)
+		for i := range models {
+			models[i] = pool[i%len(pool)]
+		}
+
+		// Per-workload: embed the (possibly new) architecture and infer.
+		start = time.Now()
+		target := cluster.Homogeneous(8, spec)
+		for _, m := range models {
+			gr, err := graph.Build(m, d.GraphConfig())
+			if err != nil {
+				return nil, err
+			}
+			emb, err := g.Embed(gr)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := pddl.Predict(tensor.Concat(target.Features(), emb)); err != nil {
+				// Feature layout is [cluster ‖ embedding].
+				return nil, err
+			}
+		}
+		inferDur := time.Since(start)
+
+		// --- Ernest: pilot runs + refit for every workload. ---
+		var collectSeconds float64
+		var fitDur time.Duration
+		for _, m := range models {
+			gr, err := graph.Build(m, d.GraphConfig())
+			if err != nil {
+				return nil, err
+			}
+			var machines []int
+			var secs []float64
+			for _, n := range ernestPilotConfigs {
+				w := simulator.Workload{Graph: gr, Dataset: d, BatchPerServer: 128, Epochs: ernestPilotEpochs}
+				t, err := sim.TrainingTime(w, cluster.Homogeneous(n, spec))
+				if err != nil {
+					return nil, err
+				}
+				collectSeconds += t
+				machines = append(machines, n)
+				secs = append(secs, t)
+			}
+			start = time.Now()
+			var em ernest.Model
+			if err := em.Fit(machines, secs); err != nil {
+				return nil, err
+			}
+			if _, err := em.Predict(8); err != nil {
+				return nil, err
+			}
+			fitDur += time.Since(start)
+		}
+		collectDur := time.Duration(collectSeconds * float64(time.Second))
+
+		row := Fig13Row{
+			BatchModels:     batch,
+			PredictDDLTrain: trainDur,
+			PredictDDLInfer: inferDur,
+			ErnestCollect:   collectDur,
+			ErnestFit:       fitDur,
+		}
+		p, e := row.Totals()
+		if p > 0 {
+			row.Speedup = float64(e) / float64(p)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,119 @@
+// Package experiments reproduces every figure of the PredictDDL paper's
+// evaluation (§II motivation and §IV). Each FigNN function is a
+// self-contained driver that returns the figure's rows; cmd/ddlbench prints
+// them and bench_test.go wraps them as benchmarks.
+//
+// The Lab type shares the expensive artifacts — trained GHNs and
+// measurement campaigns — across figures, mirroring how the paper reuses
+// one 2,000-point campaign for its whole evaluation.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"predictddl/internal/cluster"
+	"predictddl/internal/dataset"
+	"predictddl/internal/ghn"
+	"predictddl/internal/simulator"
+)
+
+// Lab caches the shared experimental artifacts. All methods are safe for
+// concurrent use.
+type Lab struct {
+	// Seed drives every stochastic component.
+	Seed int64
+	// GHNGraphs and GHNEpochs size the offline GHN training (defaults
+	// 192/10; tests use smaller values).
+	GHNGraphs, GHNEpochs int
+	// Models are the campaign architectures (default: full zoo).
+	Models []string
+	// ServerCounts are the campaign cluster sizes (default 1–20, the
+	// paper's range).
+	ServerCounts []int
+
+	mu        sync.Mutex
+	sim       *simulator.Simulator
+	ghns      map[string]*ghn.GHN
+	campaigns map[string][]simulator.DataPoint
+}
+
+// NewLab returns a lab with the paper's defaults.
+func NewLab(seed int64) *Lab {
+	return &Lab{
+		Seed:      seed,
+		GHNGraphs: 192,
+		GHNEpochs: 10,
+		ghns:      make(map[string]*ghn.GHN),
+		campaigns: make(map[string][]simulator.DataPoint),
+	}
+}
+
+// Simulator returns the lab's shared ground-truth simulator.
+func (l *Lab) Simulator() *simulator.Simulator {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sim == nil {
+		l.sim = simulator.New(l.Seed, simulator.Options{})
+	}
+	return l.sim
+}
+
+// SpecFor returns the machine class used for a dataset's campaign: GPU
+// servers for CIFAR-10, CPU servers for Tiny-ImageNet — the paper's split
+// ("DNNs trained on CIFAR-10 leverage GPUs", §IV-B2).
+func (l *Lab) SpecFor(d dataset.Dataset) cluster.ServerSpec {
+	if d.Name == "cifar10" {
+		return cluster.SpecGPUP100()
+	}
+	return cluster.SpecCPUE52630()
+}
+
+// GHN returns the dataset's trained hypernetwork, training it on first use
+// (the offline path of Fig. 8).
+func (l *Lab) GHN(d dataset.Dataset) (*ghn.GHN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if g, ok := l.ghns[d.Name]; ok {
+		return g, nil
+	}
+	g, _, err := ghn.Train(ghn.Config{}, ghn.TrainConfig{
+		Graphs:      l.GHNGraphs,
+		Epochs:      l.GHNEpochs,
+		Seed:        l.Seed,
+		GraphConfig: d.GraphConfig(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: GHN for %s: %w", d.Name, err)
+	}
+	l.ghns[d.Name] = g
+	return g, nil
+}
+
+// Campaign returns the dataset's measurement campaign (the stand-in for
+// the paper's CloudLab runs), computed on first use.
+func (l *Lab) Campaign(d dataset.Dataset) ([]simulator.DataPoint, error) {
+	l.mu.Lock()
+	cached, ok := l.campaigns[d.Name]
+	l.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	points, err := l.Simulator().RunCampaign(simulator.CampaignSpec{
+		Models:       l.Models,
+		Dataset:      d,
+		ServerSpec:   l.SpecFor(d),
+		ServerCounts: l.ServerCounts,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: campaign for %s: %w", d.Name, err)
+	}
+	l.mu.Lock()
+	l.campaigns[d.Name] = points
+	l.mu.Unlock()
+	return points, nil
+}
+
+// CIFAR10 and TinyImageNet are convenience dataset accessors.
+func (l *Lab) CIFAR10() dataset.Dataset      { return dataset.CIFAR10() }
+func (l *Lab) TinyImageNet() dataset.Dataset { return dataset.TinyImageNet() }

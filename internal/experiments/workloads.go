@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"predictddl/internal/ghn"
+	"predictddl/internal/graph"
+	"predictddl/internal/regress"
+	"predictddl/internal/simulator"
+	"predictddl/internal/tensor"
+)
+
+// TableIICIFAR10 lists the paper's eight CIFAR-10 test workloads
+// (Table II), mapped to zoo names.
+func TableIICIFAR10() []string {
+	return []string{
+		"efficientnet_b0", "resnext50_32x4d", "vgg16", "alexnet",
+		"resnet18", "densenet161", "mobilenet_v3_large", "squeezenet1_0",
+	}
+}
+
+// TableIITinyImageNet lists the paper's three Tiny-ImageNet test workloads
+// (Table II).
+func TableIITinyImageNet() []string {
+	return []string{"alexnet", "resnet18", "squeezenet1_0"}
+}
+
+// featureKind selects which DNN-descriptive features enter the regression,
+// the axis of the paper's motivation (Fig. 1–2) and ablation (Fig. 6).
+type featureKind int
+
+const (
+	// featBlackBox: cluster descriptors only (Ernest-style).
+	featBlackBox featureKind = iota
+	// featLayers adds the layer count.
+	featLayers
+	// featParams adds the parameter count.
+	featParams
+	// featLayersParams adds both counts (the classic gray box).
+	featLayersParams
+	// featGHN adds the GHN embedding (PredictDDL).
+	featGHN
+	// featGHNPlus adds embedding, layers, and params together.
+	featGHNPlus
+)
+
+func (k featureKind) String() string {
+	switch k {
+	case featBlackBox:
+		return "black-box"
+	case featLayers:
+		return "layers"
+	case featParams:
+		return "params"
+	case featLayersParams:
+		return "layers+params"
+	case featGHN:
+		return "ghn-embedding"
+	case featGHNPlus:
+		return "ghn+layers+params"
+	}
+	return fmt.Sprintf("featureKind(%d)", int(k))
+}
+
+// buildDesign assembles a design matrix for the chosen feature kind.
+// embeddings may be nil unless kind requires the GHN.
+func buildDesign(points []simulator.DataPoint, kind featureKind, embeddings map[string][]float64) (*tensor.Matrix, []float64, error) {
+	if len(points) == 0 {
+		return nil, nil, fmt.Errorf("experiments: no points")
+	}
+	rowFor := func(p simulator.DataPoint) ([]float64, error) {
+		feats := tensor.CloneVec(p.ClusterFeatures)
+		addLayers := func() {
+			feats = append(feats, float64(p.NumLayers))
+		}
+		addParams := func() {
+			feats = append(feats, float64(p.NumParams)/1e6)
+		}
+		switch kind {
+		case featBlackBox:
+		case featLayers:
+			addLayers()
+		case featParams:
+			addParams()
+		case featLayersParams:
+			addLayers()
+			addParams()
+		case featGHN, featGHNPlus:
+			emb, ok := embeddings[p.Model]
+			if !ok {
+				return nil, fmt.Errorf("experiments: missing embedding for %q", p.Model)
+			}
+			feats = append(feats, emb...)
+			if kind == featGHNPlus {
+				addLayers()
+				addParams()
+			}
+		default:
+			return nil, fmt.Errorf("experiments: unknown feature kind %d", int(kind))
+		}
+		return feats, nil
+	}
+	first, err := rowFor(points[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	x := tensor.NewMatrix(len(points), len(first))
+	y := make([]float64, len(points))
+	x.SetRow(0, first)
+	y[0] = points[0].Seconds
+	for i := 1; i < len(points); i++ {
+		row, err := rowFor(points[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		x.SetRow(i, row)
+		y[i] = points[i].Seconds
+	}
+	return x, y, nil
+}
+
+// embedModels computes GHN embeddings for every model present in points.
+func embedModels(g *ghn.GHN, points []simulator.DataPoint, cfg graph.Config) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	for _, m := range simulator.Models(points) {
+		gr, err := graph.Build(m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		emb, err := g.Embed(gr)
+		if err != nil {
+			return nil, err
+		}
+		out[m] = emb
+	}
+	return out, nil
+}
+
+// splitByRNG returns shuffled train/test index sets over points.
+func splitByRNG(n int, trainFrac float64, rng *tensor.RNG) (train, test []int) {
+	return regress.TrainTestSplit(n, trainFrac, rng)
+}
+
+// takePoints gathers points by index.
+func takePoints(points []simulator.DataPoint, idx []int) []simulator.DataPoint {
+	out := make([]simulator.DataPoint, len(idx))
+	for i, id := range idx {
+		out[i] = points[id]
+	}
+	return out
+}

@@ -1,0 +1,373 @@
+// Package ghn implements GHN-2 (Knyazev et al., "Parameter Prediction for
+// Unseen Deep Architectures", NeurIPS'21), the graph hypernetwork whose
+// intermediate representations PredictDDL uses as DNN embeddings (§III-E).
+//
+// The network follows the paper's three modules:
+//
+//  1. an embedding layer mapping per-node features (one-hot operation plus
+//     shape descriptors) to d-dimensional states H¹;
+//  2. a GatedGNN that mimics the forward and backward passes of DNN
+//     training as graph traversals (Eq. 3), extended with GHN-2's virtual
+//     shortest-path edges weighted 1/s (Eq. 4) and operation-dependent
+//     normalization of aggregated messages;
+//  3. a decoder conditioned on the final node states.
+//
+// PredictDDL skips the weight-producing decoder and mean-pools the final
+// node states into a fixed-size architecture embedding. Because the
+// original GHN-2 objective (predicting the parameters of CIFAR-10
+// classifiers) is not reproducible without GPUs, this implementation trains
+// the identical message-passing network on a complexity proxy: the decoder
+// predicts each node's parameter/FLOP footprint from operation type and
+// topology, and a graph-level head predicts aggregate complexity and
+// operation mix. See DESIGN.md for why this preserves the embedding
+// property the paper relies on.
+package ghn
+
+import (
+	"fmt"
+	"math"
+
+	"predictddl/internal/graph"
+	"predictddl/internal/nn"
+	"predictddl/internal/tensor"
+)
+
+// NodeFeatureDim is the per-node input dimensionality: one-hot operation
+// plus log-scaled channel and spatial extents.
+const NodeFeatureDim = graph.NumOpTypes + 2
+
+// NodeTargetDim is the decoder's per-node output: log-scaled parameter and
+// FLOP counts.
+const NodeTargetDim = 2
+
+// GraphTargetDim is the graph-level head's output: log nodes, log params,
+// log FLOPs, depth ratio, depthwise-FLOP fraction, dense-FLOP fraction.
+const GraphTargetDim = 6
+
+// Config shapes a GHN.
+type Config struct {
+	// HiddenDim is d, the node-state dimensionality. Defaults to 32.
+	HiddenDim int
+	// EmbedDim is the dimensionality of the architecture embedding the
+	// projection head produces (paper: a fixed-size vector, e.g. 32).
+	// Defaults to 32.
+	EmbedDim int
+	// Passes is T, the number of forward+backward traversal rounds.
+	// Defaults to 1.
+	Passes int
+	// VirtualEdges enables GHN-2's shortest-path messages (Eq. 4);
+	// disabling them recovers GHN-1 message passing (Eq. 3).
+	VirtualEdges bool
+	// MaxShortestPath is s^(max), the virtual-edge cutoff. Defaults to 5.
+	MaxShortestPath int
+	// Normalize enables operation-dependent message normalization.
+	Normalize bool
+	// ForwardOnly restricts the GatedGNN to forward traversals, dropping
+	// the backward pass of Eq. 3 — an ablation knob; the paper's model
+	// always runs both.
+	ForwardOnly bool
+}
+
+// DefaultConfig returns the GHN-2 configuration used by PredictDDL.
+func DefaultConfig() Config {
+	return Config{HiddenDim: 32, Passes: 1, VirtualEdges: true, MaxShortestPath: 5, Normalize: true}
+}
+
+func (c Config) withDefaults() Config {
+	if c.HiddenDim <= 0 {
+		c.HiddenDim = 32
+	}
+	if c.EmbedDim <= 0 {
+		c.EmbedDim = 32
+	}
+	if c.Passes <= 0 {
+		c.Passes = 1
+	}
+	if c.MaxShortestPath <= 0 {
+		c.MaxShortestPath = 5
+	}
+	return c
+}
+
+// GHN is a trained (or trainable) graph hypernetwork. All methods are safe
+// for concurrent use once training has finished; Forward/Backward pairs
+// must not run concurrently with each other.
+type GHN struct {
+	cfg Config
+
+	embed     *nn.Linear  // node features → d
+	msgFw     *nn.MLP     // MLP of Eq. 3, forward direction
+	msgBw     *nn.MLP     // MLP of Eq. 3, backward direction
+	msgSpFw   *nn.MLP     // MLP_sp of Eq. 4, forward direction
+	msgSpBw   *nn.MLP     // MLP_sp of Eq. 4, backward direction
+	gru       *nn.GRUCell // node-state update
+	opGain    *nn.Param   // NumOpTypes x d operation-dependent message gain
+	proj      *nn.Linear  // readout (3d) → fixed-size embedding
+	decoder   *nn.MLP     // per-node head (proxy targets)
+	graphHead *nn.MLP     // graph-level head (proxy targets)
+}
+
+// New returns a freshly initialized GHN.
+func New(cfg Config, rng *tensor.RNG) *GHN {
+	cfg = cfg.withDefaults()
+	d := cfg.HiddenDim
+	g := &GHN{
+		cfg:       cfg,
+		embed:     nn.NewLinear("ghn.embed", NodeFeatureDim, d, rng),
+		msgFw:     nn.NewMLP("ghn.msg_fw", []int{d, d, d}, nn.ReLU, nn.Identity, rng),
+		msgBw:     nn.NewMLP("ghn.msg_bw", []int{d, d, d}, nn.ReLU, nn.Identity, rng),
+		msgSpFw:   nn.NewMLP("ghn.sp_fw", []int{d, d}, nn.ReLU, nn.Identity, rng),
+		msgSpBw:   nn.NewMLP("ghn.sp_bw", []int{d, d}, nn.ReLU, nn.Identity, rng),
+		gru:       nn.NewGRUCell("ghn.gru", d, d, rng),
+		opGain:    nn.NewParam("ghn.op_gain", graph.NumOpTypes, d),
+		proj:      nn.NewLinear("ghn.proj", 3*d, cfg.EmbedDim, rng),
+		decoder:   nn.NewMLP("ghn.decoder", []int{d, d, NodeTargetDim}, nn.ReLU, nn.Identity, rng),
+		graphHead: nn.NewMLP("ghn.graph_head", []int{cfg.EmbedDim, d, GraphTargetDim}, nn.ReLU, nn.Identity, rng),
+	}
+	g.opGain.W.Fill(1) // neutral gain at init
+	return g
+}
+
+// Config returns the network's configuration.
+func (g *GHN) Config() Config { return g.cfg }
+
+// EmbeddingDim returns the dimensionality of Embed's output.
+func (g *GHN) EmbeddingDim() int { return g.cfg.EmbedDim }
+
+// Params returns every learnable parameter.
+func (g *GHN) Params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, g.embed.Params()...)
+	ps = append(ps, g.msgFw.Params()...)
+	ps = append(ps, g.msgBw.Params()...)
+	ps = append(ps, g.msgSpFw.Params()...)
+	ps = append(ps, g.msgSpBw.Params()...)
+	ps = append(ps, g.gru.Params()...)
+	ps = append(ps, g.opGain)
+	ps = append(ps, g.proj.Params()...)
+	ps = append(ps, g.decoder.Params()...)
+	ps = append(ps, g.graphHead.Params()...)
+	return ps
+}
+
+// nodeFeatures builds the H₀ row for one node: one-hot op, log channels,
+// log spatial extent.
+func nodeFeatures(n *graph.Node) []float64 {
+	f := make([]float64, NodeFeatureDim)
+	n.Op.OneHot(f[:graph.NumOpTypes])
+	f[graph.NumOpTypes] = math.Log1p(float64(n.OutChannels)) / 10
+	f[graph.NumOpTypes+1] = math.Log1p(float64(n.OutH*n.OutW)) / 10
+	return f
+}
+
+// virtualNeighbors returns, for each node, the (neighbor, distance) pairs
+// with 1 < s ≤ s^(max) along the given direction.
+type spEdge struct {
+	u int
+	s float64
+}
+
+func (g *GHN) virtualNeighbors(gr *graph.Graph, reverse bool) [][]spEdge {
+	out := make([][]spEdge, gr.NumNodes())
+	if !g.cfg.VirtualEdges {
+		return out
+	}
+	for v := 0; v < gr.NumNodes(); v++ {
+		// Distances measured from v along the *incoming* direction: for
+		// the forward pass, message sources are predecessors, i.e. nodes
+		// reached by walking reverse edges from v.
+		dist := gr.ShortestPathsFrom(v, !reverse)
+		for u, s := range dist {
+			if s > 1 && s <= g.cfg.MaxShortestPath {
+				out[v] = append(out[v], spEdge{u: u, s: float64(s)})
+			}
+		}
+	}
+	return out
+}
+
+// forwardState carries one full traversal's intermediate values for
+// backpropagation.
+type forwardState struct {
+	gr       *graph.Graph
+	features [][]float64 // node input features
+	h        [][]float64 // final node states
+	tape     []*nodeUpdate
+	embedIn  [][]float64 // inputs to the embedding layer (== features)
+}
+
+// nodeUpdate records one GRU state update for the backward pass.
+type nodeUpdate struct {
+	v         int
+	op        graph.OpType
+	dirMsg    *nn.MLP // message MLP used (fw or bw)
+	dirSp     *nn.MLP
+	nbrs      []int
+	msgCaches []*nn.MLPCache
+	spNbrs    []spEdge
+	spCaches  []*nn.MLPCache
+	inv       float64   // mean-aggregation factor
+	raw       []float64 // aggregated message before gain
+	gruCache  *nn.GRUCache
+}
+
+// forward runs the GatedGNN over gr, returning the tape needed by backward.
+func (g *GHN) forward(gr *graph.Graph) (*forwardState, error) {
+	order, err := gr.TopoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("ghn: %w", err)
+	}
+	n := gr.NumNodes()
+	st := &forwardState{gr: gr}
+	st.features = make([][]float64, n)
+	st.h = make([][]float64, n)
+	for i, node := range gr.Nodes {
+		st.features[i] = nodeFeatures(node)
+		st.h[i] = g.embed.Forward(st.features[i])
+	}
+	st.embedIn = st.features
+
+	spFw := g.virtualNeighbors(gr, false)
+	spBw := g.virtualNeighbors(gr, true)
+
+	revOrder := make([]int, n)
+	for i, v := range order {
+		revOrder[n-1-i] = v
+	}
+
+	for t := 0; t < g.cfg.Passes; t++ {
+		g.sweep(st, order, false, spFw)
+		if !g.cfg.ForwardOnly {
+			g.sweep(st, revOrder, true, spBw)
+		}
+	}
+	return st, nil
+}
+
+// sweep performs one directed traversal, updating node states in place and
+// appending tape entries.
+func (g *GHN) sweep(st *forwardState, order []int, reverse bool, sp [][]spEdge) {
+	d := g.cfg.HiddenDim
+	msg, msgSp := g.msgFw, g.msgSpFw
+	if reverse {
+		msg, msgSp = g.msgBw, g.msgSpBw
+	}
+	for _, v := range order {
+		var nbrs []int
+		if reverse {
+			nbrs = st.gr.OutNeighbors(v)
+		} else {
+			nbrs = st.gr.InNeighbors(v)
+		}
+		up := &nodeUpdate{v: v, op: st.gr.Nodes[v].Op, dirMsg: msg, dirSp: msgSp}
+		raw := make([]float64, d)
+		for _, u := range nbrs {
+			out, cache := msg.Forward(st.h[u])
+			tensor.AxpyInPlace(raw, out, 1)
+			up.nbrs = append(up.nbrs, u)
+			up.msgCaches = append(up.msgCaches, cache)
+		}
+		for _, e := range sp[v] {
+			out, cache := msgSp.Forward(st.h[e.u])
+			tensor.AxpyInPlace(raw, out, 1/e.s)
+			up.spNbrs = append(up.spNbrs, e)
+			up.spCaches = append(up.spCaches, cache)
+		}
+		count := len(up.nbrs) + len(up.spNbrs)
+		if count == 0 {
+			continue // sources in this direction receive no message
+		}
+		up.inv = 1 / float64(count)
+		for i := range raw {
+			raw[i] *= up.inv
+		}
+		up.raw = raw
+		// Operation-dependent normalization: per-op learned gain.
+		m := make([]float64, d)
+		gain := g.gainRow(up.op)
+		for i := range m {
+			m[i] = gain[i] * raw[i]
+		}
+		hNew, cache := g.gru.Forward(m, st.h[v])
+		up.gruCache = cache
+		st.h[v] = hNew
+		st.tape = append(st.tape, up)
+	}
+}
+
+// gainRow returns the gain vector for an op; when normalization is
+// disabled it is the all-ones vector.
+func (g *GHN) gainRow(op graph.OpType) []float64 {
+	if !g.cfg.Normalize {
+		one := make([]float64, g.cfg.HiddenDim)
+		for i := range one {
+			one[i] = 1
+		}
+		return one
+	}
+	return g.opGain.W.Row(int(op))
+}
+
+// Embed returns the fixed-size architecture embedding (inference only, no
+// gradients): a learned projection of the readout — the mean of the final
+// node states concatenated with the input and output nodes' terminal
+// states. Mean pooling captures the operation mix but normalizes out
+// network size; the terminal states — accumulated by the GatedGNN's
+// sequential traversal, like an RNN's final hidden state — retain depth
+// and total-complexity information, which the training-time predictor
+// needs to separate e.g. ResNet-50 from ResNet-101. The projection keeps
+// the embedding at the paper's fixed dimensionality (e.g. 32).
+func (g *GHN) Embed(gr *graph.Graph) ([]float64, error) {
+	st, err := g.forward(gr)
+	if err != nil {
+		return nil, err
+	}
+	return g.proj.Forward(g.readout(st)), nil
+}
+
+// readout assembles the pre-projection summary from a completed forward
+// pass: [meanPool ‖ h_input ‖ h_output], length 3d.
+func (g *GHN) readout(st *forwardState) []float64 {
+	in, out := terminalNodes(st.gr)
+	return tensor.Concat(meanPool(st.h), st.h[in], st.h[out])
+}
+
+// terminalNodes locates the input and output nodes (falling back to the
+// first/last node for non-standard graphs).
+func terminalNodes(gr *graph.Graph) (in, out int) {
+	in, out = 0, gr.NumNodes()-1
+	for _, n := range gr.Nodes {
+		switch n.Op {
+		case graph.OpInput:
+			in = n.ID
+		case graph.OpOutput:
+			out = n.ID
+		}
+	}
+	return in, out
+}
+
+func meanPool(h [][]float64) []float64 {
+	out := make([]float64, len(h[0]))
+	for _, row := range h {
+		tensor.AxpyInPlace(out, row, 1)
+	}
+	inv := 1 / float64(len(h))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// EmbedAll embeds several graphs, returning one row per graph.
+func (g *GHN) EmbedAll(graphs []*graph.Graph) (*tensor.Matrix, error) {
+	out := tensor.NewMatrix(len(graphs), g.EmbeddingDim())
+	for i, gr := range graphs {
+		e, err := g.Embed(gr)
+		if err != nil {
+			return nil, fmt.Errorf("ghn: embedding %s: %w", gr.Name, err)
+		}
+		out.SetRow(i, e)
+	}
+	return out, nil
+}

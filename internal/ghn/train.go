@@ -1,0 +1,199 @@
+package ghn
+
+import (
+	"fmt"
+	"math"
+
+	"predictddl/internal/graph"
+	"predictddl/internal/nn"
+	"predictddl/internal/tensor"
+)
+
+// nodeTargets returns the proxy supervision for one node: log-scaled
+// parameter and FLOP counts (scaled to keep Huber in its quadratic regime).
+func nodeTargets(n *graph.Node) []float64 {
+	return []float64{
+		math.Log1p(float64(n.Params)) / 10,
+		math.Log1p(float64(n.FLOPs)) / 20,
+	}
+}
+
+// graphTargets returns the graph-level proxy supervision: aggregate
+// complexity and operation mix — quantities the embedding must encode to be
+// useful for training-time prediction.
+func graphTargets(g *graph.Graph) []float64 {
+	var dwFLOPs, denseFLOPs int64
+	for _, n := range g.Nodes {
+		switch n.Op {
+		case graph.OpDepthwiseConv:
+			dwFLOPs += n.FLOPs
+		case graph.OpConv, graph.OpGroupConv, graph.OpLinear:
+			denseFLOPs += n.FLOPs
+		}
+	}
+	tot := float64(g.TotalFLOPs())
+	dwFrac, denseFrac := 0.0, 0.0
+	if tot > 0 {
+		dwFrac = float64(dwFLOPs) / tot
+		denseFrac = float64(denseFLOPs) / tot
+	}
+	nodes := float64(g.NumNodes())
+	return []float64{
+		math.Log1p(nodes) / 10,
+		math.Log1p(float64(g.TotalParams())) / 20,
+		math.Log1p(tot) / 25,
+		float64(g.Depth()) / nodes,
+		dwFrac,
+		denseFrac,
+	}
+}
+
+// TrainConfig controls proxy training.
+type TrainConfig struct {
+	// Graphs is the number of random DARTS-style architectures to sample
+	// (the synthetic training distribution of GHN-2). Defaults to 256.
+	Graphs int
+	// Epochs is the number of passes over the sampled set. Defaults to 8.
+	Epochs int
+	// LR is the Adam learning rate. Defaults to 3e-3.
+	LR float64
+	// Seed drives sampling, init, and shuffling.
+	Seed int64
+	// ClipNorm bounds the global gradient norm. Defaults to 5.
+	ClipNorm float64
+	// GraphConfig shapes the sampled architectures' inputs (defaults to
+	// CIFAR-10 dimensions). Dataset-specific GHNs are trained by varying
+	// this, matching the paper's one-GHN-per-dataset registry.
+	GraphConfig graph.Config
+	// GraphConfigs, when non-empty, samples architectures across several
+	// input shapes round-robin — the "generalize the embeddings generator
+	// for multiple datasets" direction of the paper's future work (§VI).
+	// It overrides GraphConfig.
+	GraphConfigs []graph.Config
+}
+
+func (tc TrainConfig) withDefaults() TrainConfig {
+	if tc.Graphs <= 0 {
+		tc.Graphs = 256
+	}
+	if tc.Epochs <= 0 {
+		tc.Epochs = 8
+	}
+	if tc.LR <= 0 {
+		tc.LR = 3e-3
+	}
+	if tc.ClipNorm <= 0 {
+		tc.ClipNorm = 5
+	}
+	return tc
+}
+
+// TrainReport summarizes one training run.
+type TrainReport struct {
+	// InitialLoss and FinalLoss are mean per-graph losses at the first and
+	// last epoch.
+	InitialLoss, FinalLoss float64
+	// Graphs and Epochs echo the effective configuration.
+	Graphs, Epochs int
+}
+
+// Train samples a synthetic architecture distribution and trains a fresh
+// GHN on the complexity-proxy objective. This is the "Offline GHN Trainer"
+// of the paper's Fig. 8, invoked once per dataset type.
+func Train(cfg Config, tc TrainConfig) (*GHN, TrainReport, error) {
+	tc = tc.withDefaults()
+	rng := tensor.NewRNG(tc.Seed)
+	g := New(cfg, rng)
+
+	graphs := make([]*graph.Graph, tc.Graphs)
+	for i := range graphs {
+		cfg := tc.GraphConfig
+		if len(tc.GraphConfigs) > 0 {
+			cfg = tc.GraphConfigs[i%len(tc.GraphConfigs)]
+		}
+		graphs[i] = graph.RandomGraph(rng, cfg)
+	}
+	report := TrainReport{Graphs: tc.Graphs, Epochs: tc.Epochs}
+
+	params := g.Params()
+	opt := nn.NewAdam(tc.LR)
+	for epoch := 0; epoch < tc.Epochs; epoch++ {
+		var epochLoss float64
+		order := rng.Perm(len(graphs))
+		for _, gi := range order {
+			loss, err := g.trainStep(graphs[gi], params, opt, tc.ClipNorm)
+			if err != nil {
+				return nil, report, err
+			}
+			epochLoss += loss
+		}
+		epochLoss /= float64(len(graphs))
+		if epoch == 0 {
+			report.InitialLoss = epochLoss
+		}
+		report.FinalLoss = epochLoss
+	}
+	if err := nn.CheckFinite(params); err != nil {
+		return nil, report, fmt.Errorf("ghn: training diverged: %w", err)
+	}
+	return g, report, nil
+}
+
+// trainStep performs one forward/backward/update on a single graph and
+// returns the loss.
+func (g *GHN) trainStep(gr *graph.Graph, params []*nn.Param, opt nn.Optimizer, clip float64) (float64, error) {
+	st, err := g.forward(gr)
+	if err != nil {
+		return 0, err
+	}
+	n := len(st.h)
+
+	nn.ZeroGrads(params)
+	var total float64
+
+	// Per-node decoder loss.
+	gradNodes := make([][]float64, n)
+	nodeWeight := 1 / float64(n)
+	for v, node := range gr.Nodes {
+		out, cache := g.decoder.Forward(st.h[v])
+		loss, grad := nn.HuberLoss(out, nodeTargets(node), 1)
+		total += loss * nodeWeight
+		for i := range grad {
+			grad[i] *= nodeWeight
+		}
+		gradNodes[v] = g.decoder.Backward(cache, grad)
+	}
+
+	// Graph-level head loss on the projected embedding.
+	readout := g.readout(st)
+	emb := g.proj.Forward(readout)
+	out, cache := g.graphHead.Forward(emb)
+	loss, grad := nn.HuberLoss(out, graphTargets(gr), 1)
+	total += loss
+	gradEmb := g.graphHead.Backward(cache, grad)
+	gradReadout := g.proj.Backward(readout, gradEmb)
+
+	g.backward(st, gradNodes, gradReadout)
+	nn.ClipGradNorm(params, clip)
+	opt.Step(params)
+	return total, nil
+}
+
+// Loss evaluates (without updating) the proxy loss on one graph — used by
+// tests and the training monitor.
+func (g *GHN) Loss(gr *graph.Graph) (float64, error) {
+	st, err := g.forward(gr)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	nodeWeight := 1 / float64(len(st.h))
+	for v, node := range gr.Nodes {
+		out, _ := g.decoder.Forward(st.h[v])
+		l, _ := nn.HuberLoss(out, nodeTargets(node), 1)
+		total += l * nodeWeight
+	}
+	out, _ := g.graphHead.Forward(g.proj.Forward(g.readout(st)))
+	l, _ := nn.HuberLoss(out, graphTargets(gr), 1)
+	return total + l, nil
+}

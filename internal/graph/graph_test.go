@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// diamond builds input → a → {b, c} → add → output.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New("diamond")
+	in := g.AddNode(&Node{Op: OpInput, OutChannels: 3, OutH: 8, OutW: 8})
+	a := g.AddNode(&Node{Op: OpConv, OutChannels: 8, OutH: 8, OutW: 8, Params: 100, FLOPs: 1000})
+	b := g.AddNode(&Node{Op: OpReLU, OutChannels: 8, OutH: 8, OutW: 8})
+	c := g.AddNode(&Node{Op: OpBatchNorm, OutChannels: 8, OutH: 8, OutW: 8, Params: 16, FLOPs: 200})
+	d := g.AddNode(&Node{Op: OpAdd, OutChannels: 8, OutH: 8, OutW: 8})
+	out := g.AddNode(&Node{Op: OpOutput, OutChannels: 8, OutH: 8, OutW: 8})
+	for _, e := range [][2]int{{in, a}, {a, b}, {a, c}, {b, d}, {c, d}, {d, out}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestValidateAcceptsDiamond(t *testing.T) {
+	if err := diamond(t).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsEmpty(t *testing.T) {
+	if err := New("empty").Validate(); err == nil {
+		t.Fatal("expected error for empty graph")
+	}
+}
+
+func TestValidateRejectsCycle(t *testing.T) {
+	g := New("cycle")
+	a := g.AddNode(&Node{Op: OpConv})
+	b := g.AddNode(&Node{Op: OpConv})
+	_ = g.AddEdge(a, b)
+	_ = g.AddEdge(b, a)
+	if err := g.Validate(); err != ErrCyclic {
+		t.Fatalf("err = %v, want ErrCyclic", err)
+	}
+}
+
+func TestValidateRejectsDanglingNode(t *testing.T) {
+	g := New("dangling")
+	in := g.AddNode(&Node{Op: OpInput})
+	mid := g.AddNode(&Node{Op: OpConv}) // no consumer
+	out := g.AddNode(&Node{Op: OpOutput})
+	_ = g.AddEdge(in, mid)
+	_ = g.AddEdge(in, out)
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected error for node without consumers")
+	}
+}
+
+func TestValidateRejectsMultipleInputs(t *testing.T) {
+	g := New("twoinputs")
+	i1 := g.AddNode(&Node{Op: OpInput})
+	i2 := g.AddNode(&Node{Op: OpInput})
+	out := g.AddNode(&Node{Op: OpOutput})
+	_ = g.AddEdge(i1, out)
+	_ = g.AddEdge(i2, out)
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected error for two input nodes")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New("bad")
+	a := g.AddNode(&Node{Op: OpConv})
+	if err := g.AddEdge(a, a); err == nil {
+		t.Fatal("expected self-loop error")
+	}
+	if err := g.AddEdge(a, 99); err == nil {
+		t.Fatal("expected missing-node error")
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	g := diamond(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, len(order))
+	for i, id := range order {
+		pos[id] = i
+	}
+	for u := range g.Nodes {
+		for _, v := range g.OutNeighbors(u) {
+			if pos[u] >= pos[v] {
+				t.Fatalf("edge (%d,%d) violated by topo order %v", u, v, order)
+			}
+		}
+	}
+}
+
+func TestDepthAndStats(t *testing.T) {
+	g := diamond(t)
+	if got := g.Depth(); got != 4 {
+		t.Fatalf("Depth = %d, want 4", got)
+	}
+	if got := g.TotalParams(); got != 116 {
+		t.Fatalf("TotalParams = %d, want 116", got)
+	}
+	if got := g.TotalFLOPs(); got != 1200 {
+		t.Fatalf("TotalFLOPs = %d, want 1200", got)
+	}
+	if got := g.NumLayers(); got != 2 { // conv + bn
+		t.Fatalf("NumLayers = %d, want 2", got)
+	}
+	if got := g.NumEdges(); got != 6 {
+		t.Fatalf("NumEdges = %d, want 6", got)
+	}
+}
+
+func TestShortestPathsForwardAndReverse(t *testing.T) {
+	g := diamond(t)
+	d := g.ShortestPathsFrom(0, false)
+	want := []int{0, 1, 2, 2, 3, 4}
+	for i, w := range want {
+		if d[i] != w {
+			t.Fatalf("forward dist = %v, want %v", d, want)
+		}
+	}
+	r := g.ShortestPathsFrom(5, true)
+	wantR := []int{4, 3, 2, 2, 1, 0}
+	for i, w := range wantR {
+		if r[i] != w {
+			t.Fatalf("reverse dist = %v, want %v", r, wantR)
+		}
+	}
+	// Unreachable: from node 5 forward, everything else is -1.
+	f := g.ShortestPathsFrom(5, false)
+	for i := 0; i < 5; i++ {
+		if f[i] != -1 {
+			t.Fatalf("node %d should be unreachable forward from output", i)
+		}
+	}
+}
+
+func TestOpCountsAndString(t *testing.T) {
+	g := diamond(t)
+	c := g.OpCounts()
+	if c[OpConv] != 1 || c[OpAdd] != 1 || c[OpInput] != 1 {
+		t.Fatalf("OpCounts = %v", c)
+	}
+	if !strings.Contains(g.String(), "diamond") {
+		t.Fatalf("String() = %q", g.String())
+	}
+}
+
+func TestOpTypeHelpers(t *testing.T) {
+	if !OpConv.HasParams() || OpReLU.HasParams() {
+		t.Fatal("HasParams misclassifies")
+	}
+	if !OpSwish.IsActivation() || OpConv.IsActivation() {
+		t.Fatal("IsActivation misclassifies")
+	}
+	if OpType(-1).Valid() || OpType(NumOpTypes).Valid() {
+		t.Fatal("Valid misclassifies out-of-range ops")
+	}
+	if OpConv.String() != "conv" {
+		t.Fatalf("String = %q", OpConv.String())
+	}
+	if got := OpType(999).String(); !strings.Contains(got, "999") {
+		t.Fatalf("out-of-range String = %q", got)
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	buf := make([]float64, NumOpTypes)
+	OpLinear.OneHot(buf)
+	for i, v := range buf {
+		want := 0.0
+		if OpType(i) == OpLinear {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("one-hot[%d] = %v, want %v", i, v, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong buffer length")
+		}
+	}()
+	OpConv.OneHot(make([]float64, 3))
+}

@@ -1,0 +1,118 @@
+// Package graph models deep neural networks as directed acyclic graphs of
+// primitive operations — the representation GHN-2 consumes (Fig. 3 of the
+// PredictDDL paper). Nodes are primitive ops (convolution, batch norm,
+// pooling, summation, concatenation, …) annotated with exact parameter and
+// FLOP counts; edges are dataflow.
+//
+// The package ships builders for the 31 torchvision image-classification
+// architectures the paper trains on (AlexNet, the VGG/ResNet/ResNeXt/
+// Wide-ResNet/DenseNet/MobileNet/SqueezeNet/EfficientNet families) and a
+// DARTS-style random-architecture generator used to train the GHN.
+package graph
+
+import "fmt"
+
+// OpType identifies a primitive computational operation. The set is fixed so
+// nodes can be one-hot encoded as GHN-2 input features (H₀ in §III-E).
+type OpType int
+
+// Primitive operations, ordered for one-hot encoding stability. Do not
+// reorder: serialized graphs and trained GHN checkpoints depend on values.
+const (
+	OpInput OpType = iota
+	OpConv
+	OpDepthwiseConv
+	OpGroupConv
+	OpLinear
+	OpBatchNorm
+	OpReLU
+	OpReLU6
+	OpSigmoid
+	OpHardSigmoid
+	OpSwish
+	OpHardSwish
+	OpTanh
+	OpMaxPool
+	OpAvgPool
+	OpGlobalAvgPool
+	OpAdd
+	OpConcat
+	OpMul
+	OpSoftmax
+	OpDropout
+	OpLRN
+	OpFlatten
+	OpOutput
+
+	// NumOpTypes is the size of the one-hot operation encoding.
+	NumOpTypes int = iota
+)
+
+var opNames = [...]string{
+	OpInput:         "input",
+	OpConv:          "conv",
+	OpDepthwiseConv: "dwconv",
+	OpGroupConv:     "gconv",
+	OpLinear:        "linear",
+	OpBatchNorm:     "bn",
+	OpReLU:          "relu",
+	OpReLU6:         "relu6",
+	OpSigmoid:       "sigmoid",
+	OpHardSigmoid:   "hsigmoid",
+	OpSwish:         "swish",
+	OpHardSwish:     "hswish",
+	OpTanh:          "tanh",
+	OpMaxPool:       "maxpool",
+	OpAvgPool:       "avgpool",
+	OpGlobalAvgPool: "gap",
+	OpAdd:           "add",
+	OpConcat:        "concat",
+	OpMul:           "mul",
+	OpSoftmax:       "softmax",
+	OpDropout:       "dropout",
+	OpLRN:           "lrn",
+	OpFlatten:       "flatten",
+	OpOutput:        "output",
+}
+
+// String returns the short mnemonic for the operation.
+func (o OpType) String() string {
+	if o < 0 || int(o) >= len(opNames) {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// Valid reports whether o is a known operation type.
+func (o OpType) Valid() bool { return o >= 0 && int(o) < NumOpTypes }
+
+// HasParams reports whether the operation carries learnable parameters.
+func (o OpType) HasParams() bool {
+	switch o {
+	case OpConv, OpDepthwiseConv, OpGroupConv, OpLinear, OpBatchNorm:
+		return true
+	}
+	return false
+}
+
+// IsActivation reports whether the operation is an element-wise
+// nonlinearity.
+func (o OpType) IsActivation() bool {
+	switch o {
+	case OpReLU, OpReLU6, OpSigmoid, OpHardSigmoid, OpSwish, OpHardSwish, OpTanh:
+		return true
+	}
+	return false
+}
+
+// OneHot writes the one-hot encoding of o into dst, which must have length
+// NumOpTypes.
+func (o OpType) OneHot(dst []float64) {
+	if len(dst) != NumOpTypes {
+		panic(fmt.Sprintf("graph: one-hot buffer length %d, want %d", len(dst), NumOpTypes))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	dst[o] = 1
+}

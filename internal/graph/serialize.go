@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// NodeSpec is the wire representation of one node.
+type NodeSpec struct {
+	// Op is the operation mnemonic ("conv", "bn", "relu", …).
+	Op string `json:"op"`
+	// Label is the optional human-readable description.
+	Label string `json:"label,omitempty"`
+	// OutChannels/OutH/OutW describe the output tensor shape.
+	OutChannels int `json:"out_channels"`
+	OutH        int `json:"out_h"`
+	OutW        int `json:"out_w"`
+	// Params and FLOPs are the node's cost annotations.
+	Params int64 `json:"params"`
+	FLOPs  int64 `json:"flops"`
+}
+
+// Spec is the wire representation of a computational graph, used to submit
+// custom (non-zoo) DNN architectures to the controller and to persist
+// graphs.
+type Spec struct {
+	Name  string     `json:"name"`
+	Nodes []NodeSpec `json:"nodes"`
+	// Edges are (from, to) node-index pairs.
+	Edges [][2]int `json:"edges"`
+}
+
+// opByName maps mnemonics back to OpType values.
+var opByName = func() map[string]OpType {
+	m := make(map[string]OpType, NumOpTypes)
+	for op := OpType(0); int(op) < NumOpTypes; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// ParseOp resolves an operation mnemonic.
+func ParseOp(name string) (OpType, error) {
+	op, ok := opByName[name]
+	if !ok {
+		return 0, fmt.Errorf("graph: unknown operation %q", name)
+	}
+	return op, nil
+}
+
+// Spec returns the graph's wire representation.
+func (g *Graph) Spec() *Spec {
+	s := &Spec{Name: g.Name, Nodes: make([]NodeSpec, len(g.Nodes))}
+	for i, n := range g.Nodes {
+		s.Nodes[i] = NodeSpec{
+			Op:          n.Op.String(),
+			Label:       n.Label,
+			OutChannels: n.OutChannels,
+			OutH:        n.OutH,
+			OutW:        n.OutW,
+			Params:      n.Params,
+			FLOPs:       n.FLOPs,
+		}
+	}
+	for u := range g.Nodes {
+		for _, v := range g.out[u] {
+			s.Edges = append(s.Edges, [2]int{u, v})
+		}
+	}
+	return s
+}
+
+// FromSpec reconstructs and validates a graph from its wire form.
+func FromSpec(s *Spec) (*Graph, error) {
+	if s == nil {
+		return nil, fmt.Errorf("graph: nil spec")
+	}
+	g := New(s.Name)
+	for i, ns := range s.Nodes {
+		op, err := ParseOp(ns.Op)
+		if err != nil {
+			return nil, fmt.Errorf("graph: node %d: %w", i, err)
+		}
+		if ns.Params < 0 || ns.FLOPs < 0 {
+			return nil, fmt.Errorf("graph: node %d has negative costs", i)
+		}
+		g.AddNode(&Node{
+			Op:          op,
+			Label:       ns.Label,
+			OutChannels: ns.OutChannels,
+			OutH:        ns.OutH,
+			OutW:        ns.OutW,
+			Params:      ns.Params,
+			FLOPs:       ns.FLOPs,
+		})
+	}
+	for _, e := range s.Edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// WriteJSON serializes the graph as JSON.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	if err := json.NewEncoder(w).Encode(g.Spec()); err != nil {
+		return fmt.Errorf("graph: encode %s: %w", g.Name, err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes and validates a graph from JSON.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var s Spec
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	return FromSpec(&s)
+}

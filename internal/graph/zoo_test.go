@@ -1,0 +1,256 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"predictddl/internal/tensor"
+)
+
+func TestZooHas31Models(t *testing.T) {
+	if got := len(Zoo()); got != 31 {
+		t.Fatalf("zoo has %d models, want 31 (paper §IV-A2)", got)
+	}
+}
+
+func TestEveryZooModelBuildsAndValidates(t *testing.T) {
+	for _, name := range Zoo() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			g, err := Build(name, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if g.Name != name {
+				t.Fatalf("graph name %q != %q", g.Name, name)
+			}
+			if g.TotalParams() <= 0 || g.TotalFLOPs() <= 0 {
+				t.Fatalf("degenerate costs: params=%d flops=%d", g.TotalParams(), g.TotalFLOPs())
+			}
+			if g.NumLayers() < 5 {
+				t.Fatalf("suspiciously few layers: %d", g.NumLayers())
+			}
+		})
+	}
+}
+
+func TestEveryZooModelBuildsAtTinyImageNetResolution(t *testing.T) {
+	cfg := Config{InputH: 64, InputW: 64, InputChannels: 3, NumClasses: 200}
+	for _, name := range Zoo() {
+		if _, err := Build(name, cfg); err != nil {
+			t.Fatalf("%s at 64x64: %v", name, err)
+		}
+	}
+}
+
+func TestBuildUnknownModel(t *testing.T) {
+	if _, err := Build("transformer-xl", Config{}); err == nil {
+		t.Fatal("expected error for unknown architecture")
+	}
+}
+
+func TestMustBuildPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustBuild("nope", Config{})
+}
+
+// Parameter-count ordering within families must match the published models:
+// deeper/wider variants carry more parameters.
+func TestFamilyParameterOrdering(t *testing.T) {
+	chains := [][]string{
+		{"vgg11", "vgg13", "vgg16", "vgg19"},
+		{"resnet18", "resnet34", "resnet50", "resnet101", "resnet152"},
+		{"densenet121", "densenet169", "densenet201"},
+		{"efficientnet_b0", "efficientnet_b1", "efficientnet_b2", "efficientnet_b3",
+			"efficientnet_b4", "efficientnet_b5", "efficientnet_b6", "efficientnet_b7"},
+		{"mobilenet_v3_small", "mobilenet_v3_large"},
+		{"squeezenet1_1", "squeezenet1_0"}, // 1.1 is the lighter variant
+		{"resnet50", "wide_resnet50_2"},
+	}
+	cfg := DefaultConfig()
+	for _, chain := range chains {
+		prev := int64(-1)
+		for _, name := range chain {
+			p := MustBuild(name, cfg).TotalParams()
+			if p <= prev {
+				t.Errorf("params(%s)=%d not greater than predecessor (%d) in chain %v", name, p, prev, chain)
+			}
+			prev = p
+		}
+	}
+}
+
+// Sanity-check absolute magnitudes against the published backbone sizes.
+// Classifier heads shrink at CIFAR resolution (adaptive pooling collapses
+// the 4096-wide FC inputs), so we check the conv backbones dominate and
+// orders of magnitude are right.
+func TestKnownParamMagnitudes(t *testing.T) {
+	cfg := DefaultConfig()
+	cases := []struct {
+		name     string
+		min, max int64
+	}{
+		{"resnet18", 10e6, 13e6},        // published 11.7M
+		{"resnet50", 22e6, 28e6},        // published 25.6M
+		{"densenet121", 6e6, 9e6},       // published 8.0M
+		{"squeezenet1_0", 0.5e6, 2e6},   // published 1.25M
+		{"mobilenet_v2", 2e6, 4.5e6},    // published 3.5M
+		{"efficientnet_b0", 3e6, 7e6},   // published 5.3M
+		{"alexnet", 2e6, 62e6},          // 224-res published 61M; CIFAR head is smaller
+		{"resnext50_32x4d", 20e6, 27e6}, // published 25.0M
+	}
+	for _, c := range cases {
+		p := MustBuild(c.name, cfg).TotalParams()
+		if p < c.min || p > c.max {
+			t.Errorf("%s params = %.2fM, want within [%.1fM, %.1fM]", c.name, float64(p)/1e6, float64(c.min)/1e6, float64(c.max)/1e6)
+		}
+	}
+}
+
+func TestResNet18StructureDetails(t *testing.T) {
+	g := MustBuild("resnet18", DefaultConfig())
+	counts := g.OpCounts()
+	// 8 basic blocks with 2 convs each + stem conv + 3 downsample convs = 20.
+	if counts[OpConv] != 20 {
+		t.Errorf("resnet18 conv count = %d, want 20", counts[OpConv])
+	}
+	if counts[OpAdd] != 8 {
+		t.Errorf("resnet18 residual adds = %d, want 8", counts[OpAdd])
+	}
+	if counts[OpLinear] != 1 {
+		t.Errorf("resnet18 linear count = %d, want 1", counts[OpLinear])
+	}
+}
+
+func TestDenseNetConcatGrowth(t *testing.T) {
+	g := MustBuild("densenet121", DefaultConfig())
+	counts := g.OpCounts()
+	// One concat per dense layer: 6+12+24+16 = 58.
+	if counts[OpConcat] != 58 {
+		t.Errorf("densenet121 concat count = %d, want 58", counts[OpConcat])
+	}
+}
+
+func TestEfficientNetHasSE(t *testing.T) {
+	g := MustBuild("efficientnet_b0", DefaultConfig())
+	counts := g.OpCounts()
+	if counts[OpMul] == 0 || counts[OpGlobalAvgPool] < counts[OpMul] {
+		t.Errorf("efficientnet_b0 SE blocks malformed: mul=%d gap=%d", counts[OpMul], counts[OpGlobalAvgPool])
+	}
+	if counts[OpSwish] == 0 {
+		t.Error("efficientnet_b0 must use swish activations")
+	}
+}
+
+func TestMobileNetV3UsesHardSwish(t *testing.T) {
+	g := MustBuild("mobilenet_v3_large", DefaultConfig())
+	counts := g.OpCounts()
+	if counts[OpHardSwish] == 0 || counts[OpHardSigmoid] == 0 {
+		t.Errorf("mobilenet_v3_large activations: hswish=%d hsigmoid=%d", counts[OpHardSwish], counts[OpHardSigmoid])
+	}
+	if counts[OpDepthwiseConv] == 0 {
+		t.Error("mobilenet_v3_large must contain depthwise convolutions")
+	}
+}
+
+func TestVGG16LayerCount(t *testing.T) {
+	g := MustBuild("vgg16", DefaultConfig())
+	counts := g.OpCounts()
+	if counts[OpConv] != 13 {
+		t.Errorf("vgg16 conv count = %d, want 13", counts[OpConv])
+	}
+	if counts[OpLinear] != 3 {
+		t.Errorf("vgg16 fc count = %d, want 3", counts[OpLinear])
+	}
+}
+
+func TestNumClassesPropagates(t *testing.T) {
+	cfg := Config{NumClasses: 200}
+	g := MustBuild("resnet18", cfg)
+	// The penultimate linear layer must output 200 classes.
+	var lastLinear *Node
+	for _, n := range g.Nodes {
+		if n.Op == OpLinear {
+			lastLinear = n
+		}
+	}
+	if lastLinear == nil || lastLinear.OutChannels != 200 {
+		t.Fatalf("classifier output = %+v, want 200 classes", lastLinear)
+	}
+}
+
+func TestRandomGraphsAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		g := RandomGraph(rng, DefaultConfig())
+		return g.Validate() == nil && g.TotalParams() > 0 && g.TotalFLOPs() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomGraphsAreDiverse(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	seen := map[int]bool{}
+	var params []int64
+	for i := 0; i < 20; i++ {
+		g := RandomGraph(rng, DefaultConfig())
+		seen[g.NumNodes()] = true
+		params = append(params, g.TotalParams())
+	}
+	if len(seen) < 5 {
+		t.Fatalf("random generator produced only %d distinct node counts", len(seen))
+	}
+	var distinct int
+	for i := 1; i < len(params); i++ {
+		if params[i] != params[0] {
+			distinct++
+		}
+	}
+	if distinct < 10 {
+		t.Fatalf("random generator produced too-uniform parameter counts: %v", params)
+	}
+}
+
+func TestRandomGraphDeterministicPerSeed(t *testing.T) {
+	a := RandomGraph(tensor.NewRNG(99), DefaultConfig())
+	b := RandomGraph(tensor.NewRNG(99), DefaultConfig())
+	if a.NumNodes() != b.NumNodes() || a.TotalParams() != b.TotalParams() {
+		t.Fatal("same seed must produce identical random graphs")
+	}
+}
+
+func TestConvOutClamping(t *testing.T) {
+	if got := convOut(1, 3, 2, 0); got != 1 {
+		t.Fatalf("convOut must clamp to 1, got %d", got)
+	}
+	if got := convOut(32, 3, 1, 1); got != 32 {
+		t.Fatalf("same-padding conv changed size: %d", got)
+	}
+	if got := convOut(32, 3, 2, 1); got != 16 {
+		t.Fatalf("strided conv out = %d, want 16", got)
+	}
+}
+
+func TestRoundChannels(t *testing.T) {
+	if got := roundChannels(32, 1.0); got != 32 {
+		t.Fatalf("identity multiplier changed channels: %d", got)
+	}
+	if got := roundChannels(32, 2.0); got != 64 {
+		t.Fatalf("roundChannels(32, 2.0) = %d, want 64", got)
+	}
+	if got := roundChannels(16, 1.1); got%8 != 0 {
+		t.Fatalf("result %d not a multiple of 8", got)
+	}
+	if got := roundChannels(4, 0.5); got < 8 {
+		t.Fatalf("result %d below floor of 8", got)
+	}
+}

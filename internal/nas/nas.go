@@ -1,0 +1,222 @@
+// Package nas implements cost-aware neural-architecture search on top of
+// PredictDDL. The paper motivates the predictor exactly here (§I, §III-A,
+// §V-C): NAS explores tens or hundreds of candidate networks, and training
+// each one to measure its cost is prohibitive — a reusable predictor prices
+// a candidate with one embedding + one regression evaluation instead.
+//
+// The search is evolutionary over the random-architecture generator's
+// genome (its structural bounds plus a sampling seed): each generation
+// mutates the fittest genomes, prices every offspring with the predictor,
+// discards candidates whose predicted training time exceeds the budget,
+// and scores the survivors with a user objective.
+package nas
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"predictddl/internal/cluster"
+	"predictddl/internal/graph"
+	"predictddl/internal/tensor"
+)
+
+// Predictor prices a candidate on a cluster; *core.InferenceEngine
+// satisfies this.
+type Predictor interface {
+	Predict(g *graph.Graph, c cluster.Cluster) (float64, error)
+}
+
+// Objective scores an architecture; higher is better. It sees only the
+// graph — in a real deployment this is an accuracy proxy (zero-cost NAS
+// metric, validation score of a weight-sharing supernet, …).
+type Objective func(*graph.Graph) float64
+
+// Candidate is one evaluated architecture.
+type Candidate struct {
+	// Graph is the architecture.
+	Graph *graph.Graph
+	// PredictedSeconds is its priced training time on the target cluster.
+	PredictedSeconds float64
+	// Score is the objective value (only set for within-budget candidates).
+	Score float64
+	// OverBudget marks candidates discarded by the time filter.
+	OverBudget bool
+
+	genome genome
+}
+
+// genome parameterizes the generator: structural bounds plus a seed.
+type genome struct {
+	spec graph.RandomSpec
+	seed int64
+}
+
+// Options configures a search.
+type Options struct {
+	// Population is the number of candidates per generation (default 16).
+	Population int
+	// Generations is the number of evolution rounds (default 4).
+	Generations int
+	// Elite is how many top genomes seed the next generation (default 4).
+	Elite int
+	// BudgetSeconds discards candidates whose predicted training time
+	// exceeds it (required, > 0).
+	BudgetSeconds float64
+	// Cluster is the target allocation candidates are priced on.
+	Cluster cluster.Cluster
+	// GraphConfig shapes sampled architectures.
+	GraphConfig graph.Config
+	// Seed drives all sampling.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Population <= 0 {
+		o.Population = 16
+	}
+	if o.Generations <= 0 {
+		o.Generations = 4
+	}
+	if o.Elite <= 0 || o.Elite > o.Population {
+		o.Elite = 4
+		if o.Elite > o.Population {
+			o.Elite = o.Population
+		}
+	}
+	return o
+}
+
+// Result reports a finished search.
+type Result struct {
+	// Best is the highest-scoring within-budget candidate.
+	Best Candidate
+	// Evaluated counts all priced candidates; OverBudget counts the
+	// discarded ones.
+	Evaluated, OverBudget int
+	// PredictedTimeSaved sums the predicted training seconds of discarded
+	// candidates — cluster time the budget filter avoided spending.
+	PredictedTimeSaved float64
+	// GenerationBest tracks the best score per generation.
+	GenerationBest []float64
+}
+
+// Search runs cost-aware evolutionary NAS.
+type Search struct {
+	opts      Options
+	predictor Predictor
+	objective Objective
+}
+
+// New validates the configuration and returns a Search.
+func New(opts Options, p Predictor, obj Objective) (*Search, error) {
+	if p == nil || obj == nil {
+		return nil, errors.New("nas: predictor and objective are required")
+	}
+	if opts.BudgetSeconds <= 0 {
+		return nil, errors.New("nas: BudgetSeconds must be positive")
+	}
+	if err := opts.Cluster.Validate(); err != nil {
+		return nil, fmt.Errorf("nas: %w", err)
+	}
+	return &Search{opts: opts.withDefaults(), predictor: p, objective: obj}, nil
+}
+
+// Run executes the search.
+func (s *Search) Run() (*Result, error) {
+	opts := s.opts
+	rng := tensor.NewRNG(opts.Seed)
+	res := &Result{}
+	res.Best.Score = -1
+
+	// Seed generation: genomes around the generator defaults.
+	genomes := make([]genome, opts.Population)
+	for i := range genomes {
+		genomes[i] = genome{spec: mutateSpec(graph.DefaultRandomSpec(), rng), seed: rng.Int63()}
+	}
+
+	for gen := 0; gen < opts.Generations; gen++ {
+		candidates := make([]Candidate, 0, len(genomes))
+		for _, gnm := range genomes {
+			g := graph.RandomGraphSpec(tensor.NewRNG(gnm.seed), opts.GraphConfig, gnm.spec)
+			pred, err := s.predictor.Predict(g, opts.Cluster)
+			if err != nil {
+				return nil, fmt.Errorf("nas: pricing %s: %w", g.Name, err)
+			}
+			c := Candidate{Graph: g, PredictedSeconds: pred, genome: gnm}
+			res.Evaluated++
+			if pred > opts.BudgetSeconds {
+				c.OverBudget = true
+				res.OverBudget++
+				res.PredictedTimeSaved += pred
+			} else {
+				c.Score = s.objective(g)
+			}
+			candidates = append(candidates, c)
+		}
+		// Rank within-budget candidates by score.
+		inBudget := candidates[:0:0]
+		for _, c := range candidates {
+			if !c.OverBudget {
+				inBudget = append(inBudget, c)
+			}
+		}
+		sort.SliceStable(inBudget, func(a, b int) bool { return inBudget[a].Score > inBudget[b].Score })
+		if len(inBudget) > 0 {
+			res.GenerationBest = append(res.GenerationBest, inBudget[0].Score)
+			if inBudget[0].Score > res.Best.Score || res.Best.Graph == nil {
+				res.Best = inBudget[0]
+			}
+		} else {
+			res.GenerationBest = append(res.GenerationBest, 0)
+		}
+
+		// Next generation: elites survive; the rest are mutants of elites
+		// (or fresh samples when the budget killed everything).
+		next := make([]genome, 0, opts.Population)
+		for i := 0; i < opts.Elite && i < len(inBudget); i++ {
+			next = append(next, inBudget[i].genome)
+		}
+		for len(next) < opts.Population {
+			var parent genome
+			if len(inBudget) > 0 {
+				parent = inBudget[rng.Intn(min(opts.Elite, len(inBudget)))].genome
+			} else {
+				parent = genome{spec: graph.DefaultRandomSpec()}
+			}
+			next = append(next, genome{spec: mutateSpec(parent.spec, rng), seed: rng.Int63()})
+		}
+		genomes = next
+	}
+	if res.Best.Graph == nil {
+		return res, errors.New("nas: no candidate fit the budget")
+	}
+	return res, nil
+}
+
+// mutateSpec perturbs the generator bounds by ±1 within sane limits.
+func mutateSpec(s graph.RandomSpec, rng *tensor.RNG) graph.RandomSpec {
+	bump := func(v, lo, hi int) int {
+		v += rng.Intn(3) - 1
+		if v < lo {
+			v = lo
+		}
+		if v > hi {
+			v = hi
+		}
+		return v
+	}
+	s.MinStages = bump(s.MinStages, 1, 4)
+	s.MaxStages = bump(s.MaxStages, s.MinStages, 6)
+	s.MinBlocks = bump(s.MinBlocks, 1, 4)
+	s.MaxBlocks = bump(s.MaxBlocks, s.MinBlocks, 6)
+	s.MinChannels = bump(s.MinChannels, 8, 64)
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,220 @@
+package nas
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"predictddl/internal/cluster"
+	"predictddl/internal/graph"
+	"predictddl/internal/tensor"
+)
+
+// flopsPredictor prices candidates proportionally to their FLOPs — a
+// transparent stand-in for the trained engine.
+type flopsPredictor struct{}
+
+func (flopsPredictor) Predict(g *graph.Graph, c cluster.Cluster) (float64, error) {
+	return float64(g.TotalFLOPs()) / (1e7 * float64(c.Size())), nil
+}
+
+func depthObjective(g *graph.Graph) float64 { return float64(g.Depth()) }
+
+func defaultOpts() Options {
+	return Options{
+		Population:    8,
+		Generations:   3,
+		Elite:         2,
+		BudgetSeconds: 60,
+		Cluster:       cluster.Homogeneous(4, cluster.SpecGPUP100()),
+		GraphConfig:   graph.DefaultConfig(),
+		Seed:          1,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(defaultOpts(), nil, depthObjective); err == nil {
+		t.Fatal("nil predictor accepted")
+	}
+	if _, err := New(defaultOpts(), flopsPredictor{}, nil); err == nil {
+		t.Fatal("nil objective accepted")
+	}
+	bad := defaultOpts()
+	bad.BudgetSeconds = 0
+	if _, err := New(bad, flopsPredictor{}, depthObjective); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	bad = defaultOpts()
+	bad.Cluster = cluster.Cluster{}
+	if _, err := New(bad, flopsPredictor{}, depthObjective); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+}
+
+func TestSearchFindsWithinBudgetCandidate(t *testing.T) {
+	s, err := New(defaultOpts(), flopsPredictor{}, depthObjective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Graph == nil || res.Best.OverBudget {
+		t.Fatalf("best = %+v", res.Best)
+	}
+	if res.Best.PredictedSeconds > 60 {
+		t.Fatalf("best exceeds budget: %v", res.Best.PredictedSeconds)
+	}
+	if res.Evaluated != 8*3 {
+		t.Fatalf("evaluated %d, want 24", res.Evaluated)
+	}
+	if len(res.GenerationBest) != 3 {
+		t.Fatalf("generation history %v", res.GenerationBest)
+	}
+	if res.Best.Graph.Validate() != nil {
+		t.Fatal("best graph invalid")
+	}
+}
+
+func TestSearchDeterministicPerSeed(t *testing.T) {
+	run := func() *Result {
+		s, err := New(defaultOpts(), flopsPredictor{}, depthObjective)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Best.Score != b.Best.Score || a.Evaluated != b.Evaluated || a.OverBudget != b.OverBudget {
+		t.Fatal("same seed produced different searches")
+	}
+}
+
+func TestTightBudgetFiltersMore(t *testing.T) {
+	loose := defaultOpts()
+	loose.BudgetSeconds = 1000
+	tight := defaultOpts()
+	tight.BudgetSeconds = 5
+
+	sl, _ := New(loose, flopsPredictor{}, depthObjective)
+	st, _ := New(tight, flopsPredictor{}, depthObjective)
+	rl, err := sl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := st.Run()
+	if err != nil {
+		// A very tight budget may reject everything; that error is valid.
+		if rt != nil && rt.OverBudget <= rl.OverBudget {
+			t.Fatalf("tight budget discarded %d ≤ loose %d", rt.OverBudget, rl.OverBudget)
+		}
+		return
+	}
+	if rt.OverBudget < rl.OverBudget {
+		t.Fatalf("tight budget discarded fewer candidates (%d) than loose (%d)", rt.OverBudget, rl.OverBudget)
+	}
+	if rt.Best.PredictedSeconds > 5 {
+		t.Fatalf("tight-budget best costs %v", rt.Best.PredictedSeconds)
+	}
+}
+
+func TestEvolutionImprovesOrHolds(t *testing.T) {
+	opts := defaultOpts()
+	opts.Generations = 5
+	opts.Population = 12
+	opts.BudgetSeconds = 500
+	s, err := New(opts, flopsPredictor{}, depthObjective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With elitism the best-so-far is non-decreasing across generations up
+	// to the recorded per-generation bests' max.
+	best := 0.0
+	for _, g := range res.GenerationBest {
+		if g > best {
+			best = g
+		}
+	}
+	if res.Best.Score != best {
+		t.Fatalf("final best %v != max generation best %v", res.Best.Score, best)
+	}
+	if res.Best.Score <= 0 {
+		t.Fatal("search found nothing")
+	}
+}
+
+func TestPredictedTimeSavedAccounting(t *testing.T) {
+	opts := defaultOpts()
+	opts.BudgetSeconds = 10
+	s, err := New(opts, flopsPredictor{}, depthObjective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil && res == nil {
+		t.Fatal(err)
+	}
+	if res.OverBudget > 0 && res.PredictedTimeSaved <= 10*float64(res.OverBudget)-1e9 {
+		t.Fatal("accounting inconsistent")
+	}
+	// Saved time must be at least budget x discarded count (each discarded
+	// candidate exceeded the budget).
+	if res.PredictedTimeSaved < opts.BudgetSeconds*float64(res.OverBudget) {
+		t.Fatalf("saved %v < %v", res.PredictedTimeSaved, opts.BudgetSeconds*float64(res.OverBudget))
+	}
+}
+
+// Property: mutateSpec always yields bounds the generator accepts, and the
+// resulting graphs validate.
+func TestMutateSpecAlwaysValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newRNG(seed)
+		spec := graph.DefaultRandomSpec()
+		for i := 0; i < 10; i++ {
+			spec = mutateSpec(spec, rng)
+			if spec.MinStages > spec.MaxStages || spec.MinBlocks > spec.MaxBlocks {
+				return false
+			}
+			g := graph.RandomGraphSpec(rng, graph.DefaultConfig(), spec)
+			if g.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBudgetRespectedProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		budget := 5 + float64(raw)
+		opts := defaultOpts()
+		opts.BudgetSeconds = budget
+		s, err := New(opts, flopsPredictor{}, depthObjective)
+		if err != nil {
+			return false
+		}
+		res, err := s.Run()
+		if err != nil {
+			return true // everything over budget is a legal outcome
+		}
+		return res.Best.PredictedSeconds <= budget && !math.IsNaN(res.Best.Score)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newRNG is a tiny alias so property tests read naturally.
+func newRNG(seed int64) *tensor.RNG { return tensor.NewRNG(seed) }

@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"predictddl/internal/tensor"
+)
+
+// GRUCell is a gated recurrent unit, the node-state update function in
+// GHN-2's GatedGNN (Eq. 3 of the paper):
+//
+//	z  = σ(Wz x + Uz h + bz)        update gate
+//	r  = σ(Wr x + Ur h + br)        reset gate
+//	c  = tanh(Wc x + Uc (r⊙h) + bc) candidate state
+//	h' = (1−z)⊙h + z⊙c
+type GRUCell struct {
+	InDim, HiddenDim       int
+	Wz, Wr, Wc, Uz, Ur, Uc *Param // Hidden x In (W*) and Hidden x Hidden (U*)
+	Bz, Br, Bc             *Param // 1 x Hidden
+}
+
+// GRUCache holds one invocation's intermediates for Backward.
+type GRUCache struct {
+	x, h, z, r, c, rh []float64
+}
+
+// NewGRUCell returns a Glorot-initialized GRU cell.
+func NewGRUCell(name string, in, hidden int, rng *tensor.RNG) *GRUCell {
+	g := &GRUCell{InDim: in, HiddenDim: hidden}
+	mk := func(suffix string, rows, cols int) *Param {
+		p := NewParam(fmt.Sprintf("%s.%s", name, suffix), rows, cols)
+		copy(p.W.Data(), rng.GlorotMatrix(rows, cols).Data())
+		return p
+	}
+	g.Wz = mk("wz", hidden, in)
+	g.Wr = mk("wr", hidden, in)
+	g.Wc = mk("wc", hidden, in)
+	g.Uz = mk("uz", hidden, hidden)
+	g.Ur = mk("ur", hidden, hidden)
+	g.Uc = mk("uc", hidden, hidden)
+	g.Bz = NewParam(name+".bz", 1, hidden)
+	g.Br = NewParam(name+".br", 1, hidden)
+	g.Bc = NewParam(name+".bc", 1, hidden)
+	return g
+}
+
+// Params returns the cell's learnable parameters.
+func (g *GRUCell) Params() []*Param {
+	return []*Param{g.Wz, g.Wr, g.Wc, g.Uz, g.Ur, g.Uc, g.Bz, g.Br, g.Bc}
+}
+
+func affine(w, u *Param, b *Param, x, h []float64, out []float64) {
+	bias := b.W.Row(0)
+	for i := range out {
+		out[i] = tensor.Dot(w.W.Row(i), x) + tensor.Dot(u.W.Row(i), h) + bias[i]
+	}
+}
+
+// Forward computes the next hidden state h' from input x and previous state
+// h, returning h' and the cache needed by Backward.
+func (g *GRUCell) Forward(x, h []float64) ([]float64, *GRUCache) {
+	if len(x) != g.InDim || len(h) != g.HiddenDim {
+		panic(fmt.Sprintf("nn: gru forward shapes x=%d h=%d, want %d/%d", len(x), len(h), g.InDim, g.HiddenDim))
+	}
+	n := g.HiddenDim
+	cache := &GRUCache{x: x, h: h}
+	z := make([]float64, n)
+	r := make([]float64, n)
+	affine(g.Wz, g.Uz, g.Bz, x, h, z)
+	affine(g.Wr, g.Ur, g.Br, x, h, r)
+	for i := range z {
+		z[i] = Sigmoidf(z[i])
+		r[i] = Sigmoidf(r[i])
+	}
+	rh := make([]float64, n)
+	for i := range rh {
+		rh[i] = r[i] * h[i]
+	}
+	c := make([]float64, n)
+	affine(g.Wc, g.Uc, g.Bc, x, rh, c)
+	for i := range c {
+		c[i] = math.Tanh(c[i])
+	}
+	hNew := make([]float64, n)
+	for i := range hNew {
+		hNew[i] = (1-z[i])*h[i] + z[i]*c[i]
+	}
+	cache.z, cache.r, cache.c, cache.rh = z, r, c, rh
+	return hNew, cache
+}
+
+// Infer computes the next hidden state without allocating a cache.
+func (g *GRUCell) Infer(x, h []float64) []float64 {
+	out, _ := g.Forward(x, h)
+	return out
+}
+
+// Backward consumes gradH = dL/dh' and returns (dL/dx, dL/dh), accumulating
+// parameter gradients.
+func (g *GRUCell) Backward(cache *GRUCache, gradH []float64) (gradX, gradHPrev []float64) {
+	n := g.HiddenDim
+	x, h, z, r, c, rh := cache.x, cache.h, cache.z, cache.r, cache.c, cache.rh
+
+	dz := make([]float64, n)
+	dc := make([]float64, n)
+	dh := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dz[i] = gradH[i] * (c[i] - h[i])
+		dc[i] = gradH[i] * z[i]
+		dh[i] = gradH[i] * (1 - z[i])
+	}
+	// Candidate pre-activation gradient.
+	dcPre := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dcPre[i] = dc[i] * (1 - c[i]*c[i])
+	}
+	gradX = make([]float64, g.InDim)
+	drh := make([]float64, n)
+	g.accumulateAffine(g.Wc, g.Uc, g.Bc, x, rh, dcPre, gradX, drh)
+	// Reset-gate contribution: rh = r⊙h.
+	dr := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dr[i] = drh[i] * h[i]
+		dh[i] += drh[i] * r[i]
+	}
+	dzPre := make([]float64, n)
+	drPre := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dzPre[i] = dz[i] * z[i] * (1 - z[i])
+		drPre[i] = dr[i] * r[i] * (1 - r[i])
+	}
+	g.accumulateAffine(g.Wz, g.Uz, g.Bz, x, h, dzPre, gradX, dh)
+	g.accumulateAffine(g.Wr, g.Ur, g.Br, x, h, drPre, gradX, dh)
+	return gradX, dh
+}
+
+// accumulateAffine handles the shared backward pattern for
+// pre = W x + U s + b: given dPre it accumulates dW, dU, db and adds the
+// input gradients into gradX and gradS.
+func (g *GRUCell) accumulateAffine(w, u, b *Param, x, s, dPre, gradX, gradS []float64) {
+	bGrad := b.Grad.Row(0)
+	for i, d := range dPre {
+		bGrad[i] += d
+		if d == 0 {
+			continue
+		}
+		wRow, wGrad := w.W.Row(i), w.Grad.Row(i)
+		for j, xj := range x {
+			wGrad[j] += d * xj
+			gradX[j] += d * wRow[j]
+		}
+		uRow, uGrad := u.W.Row(i), u.Grad.Row(i)
+		for j, sj := range s {
+			uGrad[j] += d * sj
+			gradS[j] += d * uRow[j]
+		}
+	}
+}

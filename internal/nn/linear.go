@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"fmt"
+
+	"predictddl/internal/tensor"
+)
+
+// Linear is an affine map y = W x + b with W of shape Out x In.
+type Linear struct {
+	In, Out int
+	Weight  *Param // Out x In
+	Bias    *Param // 1 x Out
+}
+
+// NewLinear returns a Glorot-initialized linear layer drawing from rng.
+func NewLinear(name string, in, out int, rng *tensor.RNG) *Linear {
+	l := &Linear{
+		In:     in,
+		Out:    out,
+		Weight: NewParam(name+".weight", out, in),
+		Bias:   NewParam(name+".bias", 1, out),
+	}
+	g := rng.GlorotMatrix(out, in)
+	copy(l.Weight.W.Data(), g.Data())
+	return l
+}
+
+// Params returns the layer's learnable parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// Forward computes y = W x + b. len(x) must equal In.
+func (l *Linear) Forward(x []float64) []float64 {
+	if len(x) != l.In {
+		panic(fmt.Sprintf("nn: linear forward got %d inputs, want %d", len(x), l.In))
+	}
+	out := make([]float64, l.Out)
+	bias := l.Bias.W.Row(0)
+	for o := 0; o < l.Out; o++ {
+		out[o] = tensor.Dot(l.Weight.W.Row(o), x) + bias[o]
+	}
+	return out
+}
+
+// Backward accumulates dL/dW and dL/db given the input x used in the forward
+// pass and gradOut = dL/dy, and returns dL/dx.
+func (l *Linear) Backward(x, gradOut []float64) []float64 {
+	if len(x) != l.In || len(gradOut) != l.Out {
+		panic(fmt.Sprintf("nn: linear backward shapes x=%d gradOut=%d, want %d/%d", len(x), len(gradOut), l.In, l.Out))
+	}
+	gradIn := make([]float64, l.In)
+	biasGrad := l.Bias.Grad.Row(0)
+	for o, g := range gradOut {
+		biasGrad[o] += g
+		if g == 0 {
+			continue
+		}
+		wrow := l.Weight.W.Row(o)
+		growRow := l.Weight.Grad.Row(o)
+		for i, xi := range x {
+			growRow[i] += g * xi
+			gradIn[i] += g * wrow[i]
+		}
+	}
+	return gradIn
+}

@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"fmt"
+
+	"predictddl/internal/tensor"
+)
+
+// MLP is a multi-layer perceptron: a stack of Linear layers with a hidden
+// activation between layers and an optional output activation. GHN-2 uses
+// MLPs as the message functions in Eq. 3–4; the regression engine uses an
+// MLP as one of its four candidate models.
+type MLP struct {
+	layers    []*Linear
+	hiddenAct Activation
+	outputAct Activation
+}
+
+// MLPCache stores the per-invocation intermediates Backward needs. One cache
+// is produced per Forward call, so a shared MLP can appear many times in a
+// computation graph.
+type MLPCache struct {
+	inputs [][]float64 // input to each layer
+	pre    [][]float64 // pre-activation of each layer
+	out    [][]float64 // post-activation of each layer
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g. sizes = [32, 64, 32]
+// produces two linear layers 32→64→32. hidden is applied between layers,
+// output after the last layer (use Identity for a plain linear head).
+func NewMLP(name string, sizes []int, hidden, output Activation, rng *tensor.RNG) *MLP {
+	if len(sizes) < 2 {
+		panic(fmt.Sprintf("nn: MLP needs at least 2 sizes, got %v", sizes))
+	}
+	m := &MLP{hiddenAct: hidden, outputAct: output}
+	for i := 0; i < len(sizes)-1; i++ {
+		m.layers = append(m.layers, NewLinear(fmt.Sprintf("%s.l%d", name, i), sizes[i], sizes[i+1], rng))
+	}
+	return m
+}
+
+// Params returns all learnable parameters.
+func (m *MLP) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// InDim returns the expected input dimensionality.
+func (m *MLP) InDim() int { return m.layers[0].In }
+
+// OutDim returns the output dimensionality.
+func (m *MLP) OutDim() int { return m.layers[len(m.layers)-1].Out }
+
+// Forward runs the network and returns the output along with the cache
+// required by Backward.
+func (m *MLP) Forward(x []float64) ([]float64, *MLPCache) {
+	c := &MLPCache{}
+	cur := x
+	for i, l := range m.layers {
+		c.inputs = append(c.inputs, cur)
+		pre := l.Forward(cur)
+		c.pre = append(c.pre, pre)
+		act := m.hiddenAct
+		if i == len(m.layers)-1 {
+			act = m.outputAct
+		}
+		out := make([]float64, len(pre))
+		for j, v := range pre {
+			out[j] = act.Apply(v)
+		}
+		c.out = append(c.out, out)
+		cur = out
+	}
+	return cur, c
+}
+
+// Infer runs the network without building a cache (prediction-only path).
+func (m *MLP) Infer(x []float64) []float64 {
+	cur := x
+	for i, l := range m.layers {
+		pre := l.Forward(cur)
+		act := m.hiddenAct
+		if i == len(m.layers)-1 {
+			act = m.outputAct
+		}
+		out := make([]float64, len(pre))
+		for j, v := range pre {
+			out[j] = act.Apply(v)
+		}
+		cur = out
+	}
+	return cur
+}
+
+// Backward propagates gradOut = dL/d(output) through the cached invocation,
+// accumulating parameter gradients, and returns dL/d(input).
+func (m *MLP) Backward(c *MLPCache, gradOut []float64) []float64 {
+	grad := gradOut
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		act := m.hiddenAct
+		if i == len(m.layers)-1 {
+			act = m.outputAct
+		}
+		pre, out := c.pre[i], c.out[i]
+		gpre := make([]float64, len(grad))
+		for j, g := range grad {
+			gpre[j] = g * act.Deriv(pre[j], out[j])
+		}
+		grad = m.layers[i].Backward(c.inputs[i], gpre)
+	}
+	return grad
+}

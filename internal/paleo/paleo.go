@@ -1,0 +1,99 @@
+// Package paleo implements a Paleo-style analytical performance model
+// (Qi et al., ICLR'17 — reference [38] of the PredictDDL paper) as a second
+// baseline alongside Ernest. Paleo decomposes training time into
+// computation and communication from first principles:
+//
+//	compute = 3 · FLOPs/sample · batch / (peak FLOPS · platform efficiency)
+//	comm    = ring-allreduce bytes / bandwidth
+//
+// Unlike PredictDDL it learns nothing: it needs no training runs, but its
+// accuracy is capped by how well a single platform-efficiency constant
+// describes every architecture (§V-B: analytical models "either capture a
+// few internal characteristics of the deep neural network or require
+// fine-grained input parameters"). The simulator's ground truth varies
+// achieved efficiency with operation mix, which is exactly the error Paleo
+// cannot see — and the GHN embedding can.
+package paleo
+
+import (
+	"fmt"
+	"math"
+
+	"predictddl/internal/cluster"
+	"predictddl/internal/dataset"
+	"predictddl/internal/graph"
+)
+
+// Model is an analytical predictor with fixed platform constants.
+type Model struct {
+	// PlatformEfficiency is the assumed fraction of peak FLOPS achieved
+	// (Paleo's "platform percent of peak"). Defaults to 0.4.
+	PlatformEfficiency float64
+	// BatchPerServer and Epochs describe the training loop the estimate
+	// assumes. Defaults: 128 and 10 (the campaign defaults).
+	BatchPerServer, Epochs int
+	// Dataset supplies sample counts for the epoch structure.
+	Dataset dataset.Dataset
+}
+
+// New returns a Paleo model for a dataset with default constants.
+func New(d dataset.Dataset) *Model {
+	return &Model{PlatformEfficiency: 0.4, BatchPerServer: 128, Epochs: 10, Dataset: d}
+}
+
+// Predict implements the analytical estimate for training g on c. It
+// satisfies the Predictor interfaces of the sched and nas packages.
+func (m *Model) Predict(g *graph.Graph, c cluster.Cluster) (float64, error) {
+	if g == nil {
+		return 0, fmt.Errorf("paleo: nil graph")
+	}
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if m.Dataset.NumImages <= 0 {
+		return 0, fmt.Errorf("paleo: model has no dataset")
+	}
+	eff := m.PlatformEfficiency
+	if eff <= 0 || eff > 1 {
+		return 0, fmt.Errorf("paleo: platform efficiency %g outside (0,1]", eff)
+	}
+	batch := m.BatchPerServer
+	if batch <= 0 {
+		batch = 128
+	}
+	epochs := m.Epochs
+	if epochs <= 0 {
+		epochs = 10
+	}
+
+	n := c.Size()
+	globalBatch := batch * n
+	iters := (m.Dataset.NumImages + globalBatch - 1) / globalBatch * epochs
+
+	// Compute: slowest server paces the synchronous step.
+	stepFLOPs := 3 * float64(g.TotalFLOPs()) * float64(batch)
+	var computePerIter float64
+	for _, srv := range c.Servers {
+		gf := srv.AvailableGFLOPS()
+		if gf <= 0 {
+			return 0, fmt.Errorf("paleo: server %q has no available compute", srv.Spec.Name)
+		}
+		if t := stepFLOPs / (gf * 1e9 * eff); t > computePerIter {
+			computePerIter = t
+		}
+	}
+
+	// Communication: ring all-reduce of fp32 gradients.
+	var commPerIter float64
+	if n > 1 {
+		gradBytes := 4 * float64(g.TotalParams())
+		bw := c.MinNICGbps() * 1e9 / 8
+		commPerIter = 2 * float64(n-1) / float64(n) * gradBytes / bw
+	}
+
+	total := (computePerIter + commPerIter) * float64(iters)
+	if math.IsNaN(total) || math.IsInf(total, 0) {
+		return 0, fmt.Errorf("paleo: non-finite estimate")
+	}
+	return total, nil
+}

@@ -1,0 +1,122 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"predictddl/internal/tensor"
+)
+
+// Candidate pairs a constructor with a label so grid search can re-create
+// fresh models per evaluation.
+type Candidate struct {
+	Label string
+	New   func() Regressor
+}
+
+// SVRGrid enumerates the paper's SVR search space (§IV-B2): radial and
+// linear kernels, C ∈ {1, 10, 100, 1000}, γ ∈ {0.05, 0.1, 0.2, 0.5}, and
+// ε ∈ {0.05, 0.1, 0.2}.
+func SVRGrid() []Candidate {
+	var out []Candidate
+	cs := []float64{1, 10, 100, 1000}
+	gammas := []float64{0.05, 0.1, 0.2, 0.5}
+	epsilons := []float64{0.05, 0.1, 0.2}
+	for _, c := range cs {
+		for _, e := range epsilons {
+			c, e := c, e
+			out = append(out, Candidate{
+				Label: fmt.Sprintf("svr-linear C=%g ε=%g", c, e),
+				New:   func() Regressor { return &SVR{C: c, Epsilon: e, Kernel: LinearKernel{}} },
+			})
+			for _, g := range gammas {
+				g := g
+				out = append(out, Candidate{
+					Label: fmt.Sprintf("svr-rbf C=%g γ=%g ε=%g", c, g, e),
+					New:   func() Regressor { return &SVR{C: c, Epsilon: e, Kernel: RBFKernel{Gamma: g}} },
+				})
+			}
+		}
+	}
+	return out
+}
+
+// MLPGrid enumerates hidden widths 1–5, the paper's MLP search space.
+func MLPGrid() []Candidate {
+	var out []Candidate
+	for h := 1; h <= 5; h++ {
+		h := h
+		out = append(out, Candidate{
+			Label: fmt.Sprintf("mlp h=%d", h),
+			New:   func() Regressor { return NewMLPRegressor(h) },
+		})
+	}
+	return out
+}
+
+// GridResult reports one grid-search evaluation.
+type GridResult struct {
+	Label    string
+	TestRMSE float64
+	Err      error
+}
+
+// GridSearch fits every candidate on a train split and scores it on the
+// held-out split, returning the best fitted model and all results. The
+// split is drawn once with rng so candidates compete on identical data.
+func GridSearch(cands []Candidate, x *tensor.Matrix, y []float64, trainFrac float64, rng *tensor.RNG) (Regressor, []GridResult, error) {
+	if len(cands) == 0 {
+		return nil, nil, fmt.Errorf("regress: grid search with no candidates")
+	}
+	trainIdx, testIdx := TrainTestSplit(x.Rows(), trainFrac, rng)
+	xTrain, yTrain := Take(x, y, trainIdx)
+	xTest, yTest := Take(x, y, testIdx)
+
+	// Candidates are independent; evaluate them across all cores.
+	results := make([]GridResult, len(cands))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, c := range cands {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, c Candidate) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			m := c.New()
+			res := GridResult{Label: c.Label}
+			if err := m.Fit(xTrain, yTrain); err != nil {
+				res.Err = err
+				res.TestRMSE = math.Inf(1)
+			} else if pred, err := PredictAll(m, xTest); err != nil {
+				res.Err = err
+				res.TestRMSE = math.Inf(1)
+			} else {
+				res.TestRMSE = RMSE(pred, yTest)
+			}
+			results[i] = res
+		}(i, c)
+	}
+	wg.Wait()
+
+	bestRMSE := math.Inf(1)
+	bestIdx := -1
+	for i, res := range results {
+		if res.Err == nil && res.TestRMSE < bestRMSE {
+			bestRMSE = res.TestRMSE
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return nil, results, fmt.Errorf("regress: every grid candidate failed")
+	}
+	// Refit the winner on the full data.
+	best := cands[bestIdx].New()
+	if err := best.Fit(x, y); err != nil {
+		return nil, results, fmt.Errorf("regress: refitting winner %q: %w", cands[bestIdx].Label, err)
+	}
+	return best, results, nil
+}

@@ -1,0 +1,54 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+
+	"predictddl/internal/tensor"
+)
+
+// LogTarget wraps a regressor to fit log-transformed targets and
+// exponentiate predictions. Training times are positive and span orders of
+// magnitude across architectures and cluster sizes; in log space the
+// compute/communication structure becomes nearly additive, which keeps
+// polynomial models from extrapolating to negative (or astronomically
+// large) times on unseen architectures. PredictDDL's inference engine uses
+// this wrapper around the paper's regressors by default.
+type LogTarget struct {
+	// Inner is the underlying model; required.
+	Inner Regressor
+}
+
+// NewLogTarget wraps inner with the log-target transform.
+func NewLogTarget(inner Regressor) *LogTarget { return &LogTarget{Inner: inner} }
+
+// Name implements Regressor.
+func (l *LogTarget) Name() string { return "log-" + l.Inner.Name() }
+
+// Fit implements Regressor. All targets must be positive.
+func (l *LogTarget) Fit(x *tensor.Matrix, y []float64) error {
+	if err := checkTrainingData(x, y); err != nil {
+		return err
+	}
+	logy := make([]float64, len(y))
+	for i, v := range y {
+		if v <= 0 {
+			return fmt.Errorf("regress: log-target requires positive targets, got %g at %d", v, i)
+		}
+		logy[i] = math.Log(v)
+	}
+	return l.Inner.Fit(x, logy)
+}
+
+// Predict implements Regressor.
+func (l *LogTarget) Predict(features []float64) (float64, error) {
+	p, err := l.Inner.Predict(features)
+	if err != nil {
+		return 0, err
+	}
+	// Clamp the exponent so a wild extrapolation cannot overflow.
+	if p > 50 {
+		p = 50
+	}
+	return math.Exp(p), nil
+}

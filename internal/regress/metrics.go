@@ -1,0 +1,91 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+)
+
+// RMSE returns the root-mean-square error between predictions and targets —
+// the metric of the paper's Fig. 1–2 motivation study.
+func RMSE(pred, actual []float64) float64 {
+	mustSameLen(pred, actual)
+	var s float64
+	for i, p := range pred {
+		d := p - actual[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}
+
+// MAE returns the mean absolute error.
+func MAE(pred, actual []float64) float64 {
+	mustSameLen(pred, actual)
+	var s float64
+	for i, p := range pred {
+		s += math.Abs(p - actual[i])
+	}
+	return s / float64(len(pred))
+}
+
+// RelativeRatio returns mean(predicted/actual), the paper's headline
+// presentation ("closer to 1 is better", Fig. 6/9–12). Targets must be
+// positive.
+func RelativeRatio(pred, actual []float64) float64 {
+	mustSameLen(pred, actual)
+	var s float64
+	for i, p := range pred {
+		s += p / actual[i]
+	}
+	return s / float64(len(pred))
+}
+
+// MeanRelativeError returns mean(|predicted − actual| / actual), the "8%
+// average relative error" metric of §IV. Targets must be positive.
+func MeanRelativeError(pred, actual []float64) float64 {
+	mustSameLen(pred, actual)
+	var s float64
+	for i, p := range pred {
+		s += math.Abs(p-actual[i]) / actual[i]
+	}
+	return s / float64(len(pred))
+}
+
+// MaxRelativeError returns max(|predicted − actual| / actual).
+func MaxRelativeError(pred, actual []float64) float64 {
+	mustSameLen(pred, actual)
+	var m float64
+	for i, p := range pred {
+		if r := math.Abs(p-actual[i]) / actual[i]; r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// R2 returns the coefficient of determination.
+func R2(pred, actual []float64) float64 {
+	mustSameLen(pred, actual)
+	var mean float64
+	for _, a := range actual {
+		mean += a
+	}
+	mean /= float64(len(actual))
+	var ssRes, ssTot float64
+	for i, p := range pred {
+		ssRes += (actual[i] - p) * (actual[i] - p)
+		ssTot += (actual[i] - mean) * (actual[i] - mean)
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+func mustSameLen(pred, actual []float64) {
+	if len(pred) != len(actual) || len(pred) == 0 {
+		panic(fmt.Sprintf("regress: metric over mismatched slices %d vs %d", len(pred), len(actual)))
+	}
+}

@@ -1,0 +1,164 @@
+package regress
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"predictddl/internal/tensor"
+)
+
+// Serialization uses explicit snapshot structs (gob cannot see unexported
+// fields) plus a type-tag envelope so a Regressor can be saved and loaded
+// through the interface. Fitted SVR and MLP models are intentionally not
+// serializable here: PredictDDL persists its default engines (linear /
+// polynomial / log-target), and grid-searched models are cheap to refit.
+
+// scalerSnapshot mirrors StandardScaler.
+type scalerSnapshot struct{ Mean, Std []float64 }
+
+func snapshotScaler(s *StandardScaler) *scalerSnapshot {
+	if s == nil {
+		return nil
+	}
+	return &scalerSnapshot{Mean: tensor.CloneVec(s.mean), Std: tensor.CloneVec(s.std)}
+}
+
+func (s *scalerSnapshot) restore() *StandardScaler {
+	if s == nil {
+		return nil
+	}
+	return &StandardScaler{mean: s.Mean, std: s.Std}
+}
+
+// linearSnapshot mirrors LinearRegression.
+type linearSnapshot struct {
+	Lambda float64
+	Scaler *scalerSnapshot
+	Coef   []float64
+}
+
+// polySnapshot mirrors PolynomialRegression.
+type polySnapshot struct {
+	Degree    int
+	Lambda    float64
+	InputDim  int
+	Linear    *linearSnapshot
+	PreScaler *scalerSnapshot
+}
+
+// envelope wraps any snapshot with its type tag.
+type envelope struct {
+	Kind string
+	Blob []byte
+}
+
+const (
+	kindLinear    = "linear"
+	kindPoly      = "polynomial"
+	kindLogTarget = "log-target"
+)
+
+func encodeBlob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeBlob(blob []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(blob)).Decode(v)
+}
+
+// Save serializes a fitted regressor to w. Supported: LinearRegression,
+// PolynomialRegression, and LogTarget wrappers over those.
+func Save(w io.Writer, m Regressor) error {
+	env, err := toEnvelope(m)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(w).Encode(env); err != nil {
+		return fmt.Errorf("regress: save: %w", err)
+	}
+	return nil
+}
+
+func toEnvelope(m Regressor) (*envelope, error) {
+	switch v := m.(type) {
+	case *LinearRegression:
+		blob, err := encodeBlob(linearSnapshot{Lambda: v.Lambda, Scaler: snapshotScaler(v.scaler), Coef: v.coef})
+		if err != nil {
+			return nil, fmt.Errorf("regress: save linear: %w", err)
+		}
+		return &envelope{Kind: kindLinear, Blob: blob}, nil
+	case *PolynomialRegression:
+		var lin *linearSnapshot
+		if v.linear != nil {
+			lin = &linearSnapshot{Lambda: v.linear.Lambda, Scaler: snapshotScaler(v.linear.scaler), Coef: v.linear.coef}
+		}
+		blob, err := encodeBlob(polySnapshot{
+			Degree: v.Degree, Lambda: v.Lambda, InputDim: v.inputDim,
+			Linear: lin, PreScaler: snapshotScaler(v.preScaler),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("regress: save polynomial: %w", err)
+		}
+		return &envelope{Kind: kindPoly, Blob: blob}, nil
+	case *LogTarget:
+		inner, err := toEnvelope(v.Inner)
+		if err != nil {
+			return nil, err
+		}
+		blob, err := encodeBlob(inner)
+		if err != nil {
+			return nil, fmt.Errorf("regress: save log-target: %w", err)
+		}
+		return &envelope{Kind: kindLogTarget, Blob: blob}, nil
+	default:
+		return nil, fmt.Errorf("regress: cannot serialize %T (only linear, polynomial, and log-target wrappers persist)", m)
+	}
+}
+
+// Load deserializes a regressor written by Save.
+func Load(r io.Reader) (Regressor, error) {
+	var env envelope
+	if err := gob.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("regress: load: %w", err)
+	}
+	return fromEnvelope(&env)
+}
+
+func fromEnvelope(env *envelope) (Regressor, error) {
+	switch env.Kind {
+	case kindLinear:
+		var s linearSnapshot
+		if err := decodeBlob(env.Blob, &s); err != nil {
+			return nil, fmt.Errorf("regress: load linear: %w", err)
+		}
+		return &LinearRegression{Lambda: s.Lambda, scaler: s.Scaler.restore(), coef: s.Coef}, nil
+	case kindPoly:
+		var s polySnapshot
+		if err := decodeBlob(env.Blob, &s); err != nil {
+			return nil, fmt.Errorf("regress: load polynomial: %w", err)
+		}
+		p := &PolynomialRegression{Degree: s.Degree, Lambda: s.Lambda, inputDim: s.InputDim, preScaler: s.PreScaler.restore()}
+		if s.Linear != nil {
+			p.linear = &LinearRegression{Lambda: s.Linear.Lambda, scaler: s.Linear.Scaler.restore(), coef: s.Linear.Coef}
+		}
+		return p, nil
+	case kindLogTarget:
+		var inner envelope
+		if err := decodeBlob(env.Blob, &inner); err != nil {
+			return nil, fmt.Errorf("regress: load log-target: %w", err)
+		}
+		m, err := fromEnvelope(&inner)
+		if err != nil {
+			return nil, err
+		}
+		return &LogTarget{Inner: m}, nil
+	default:
+		return nil, fmt.Errorf("regress: unknown serialized kind %q", env.Kind)
+	}
+}

@@ -1,0 +1,98 @@
+package regress
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"predictddl/internal/tensor"
+)
+
+func roundTrip(t *testing.T, m Regressor) Regressor {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func assertSamePredictions(t *testing.T, a, b Regressor, x *tensor.Matrix) {
+	t.Helper()
+	for i := 0; i < x.Rows(); i++ {
+		pa, errA := a.Predict(x.Row(i))
+		pb, errB := b.Predict(x.Row(i))
+		if errA != nil || errB != nil {
+			t.Fatalf("predict errors: %v / %v", errA, errB)
+		}
+		if pa != pb {
+			t.Fatalf("row %d: %v != %v after round trip", i, pa, pb)
+		}
+	}
+}
+
+func TestLinearRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	x, y := synthData(rng, 60, 3, 0.05, func(v []float64) float64 { return 1 + v[0] - 2*v[2] })
+	m := NewLinearRegression()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	back := roundTrip(t, m)
+	if back.Name() != m.Name() {
+		t.Fatalf("name %q != %q", back.Name(), m.Name())
+	}
+	assertSamePredictions(t, m, back, x)
+}
+
+func TestPolynomialRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	x, y := synthData(rng, 80, 2, 0.01, func(v []float64) float64 { return v[0]*v[1] + v[0]*v[0] })
+	m := NewPolynomialRegression(2)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	assertSamePredictions(t, m, roundTrip(t, m), x)
+}
+
+func TestLogTargetRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	x, y := synthData(rng, 80, 2, 0.01, func(v []float64) float64 { return 5 + v[0] + v[1] })
+	m := NewLogTarget(NewPolynomialRegression(2))
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	back := roundTrip(t, m)
+	if back.Name() != "log-polynomial-2" {
+		t.Fatalf("name = %q", back.Name())
+	}
+	assertSamePredictions(t, m, back, x)
+}
+
+func TestSaveUnsupportedModel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, NewSVR()); err == nil {
+		t.Fatal("SVR serialization should be rejected")
+	}
+	if err := Save(&buf, NewLogTarget(NewMLPRegressor(2))); err == nil {
+		t.Fatal("wrapped MLP serialization should be rejected")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestUnfittedRoundTrip(t *testing.T) {
+	// An unfitted model survives the trip and still reports ErrNotFitted.
+	back := roundTrip(t, NewLinearRegression())
+	if _, err := back.Predict([]float64{1}); err == nil {
+		t.Fatal("unfitted loaded model predicted")
+	}
+}

@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gantt renders the report as an ASCII timeline: one row per job, '#'
+// spans its execution window, '.' spans its queueing delay. Rejected jobs
+// show as "rejected". Useful in examples and operator tooling.
+func (r *Report) Gantt(width int) string {
+	if width < 20 {
+		width = 60
+	}
+	if len(r.Jobs) == 0 {
+		return "(no jobs)\n"
+	}
+	makespan := r.Makespan
+	if makespan <= 0 {
+		makespan = 1
+	}
+	scale := float64(width) / makespan
+
+	// Longest ID for alignment.
+	idw := 4
+	for _, j := range r.Jobs {
+		if len(j.ID) > idw {
+			idw = len(j.ID)
+		}
+	}
+
+	jobs := make([]JobResult, len(r.Jobs))
+	copy(jobs, r.Jobs)
+	sort.SliceStable(jobs, func(a, b int) bool {
+		if jobs[a].Rejected != jobs[b].Rejected {
+			return !jobs[a].Rejected
+		}
+		return jobs[a].Start < jobs[b].Start
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s |%s| servers\n", idw, "job", strings.Repeat("-", width))
+	for _, j := range jobs {
+		if j.Rejected {
+			fmt.Fprintf(&b, "%-*s |%s| rejected\n", idw, j.ID, strings.Repeat(" ", width))
+			continue
+		}
+		submit := j.Start - j.Waited
+		q0 := clampInt(int(submit*scale), 0, width)
+		s0 := clampInt(int(j.Start*scale), 0, width)
+		s1 := clampInt(int(j.End*scale), 0, width)
+		if s1 <= s0 {
+			s1 = s0 + 1
+			if s1 > width {
+				s0, s1 = width-1, width
+			}
+		}
+		row := []byte(strings.Repeat(" ", width))
+		for i := q0; i < s0 && i < width; i++ {
+			row[i] = '.'
+		}
+		for i := s0; i < s1; i++ {
+			row[i] = '#'
+		}
+		marker := ""
+		if !j.DeadlineMet {
+			marker = "  MISSED DEADLINE"
+		}
+		fmt.Fprintf(&b, "%-*s |%s| %d%s\n", idw, j.ID, string(row), j.Servers, marker)
+	}
+	fmt.Fprintf(&b, "%-*s  0%*s%.1fs\n", idw, "", width-len(fmt.Sprintf("%.1fs", makespan))+1, "", makespan)
+	return b.String()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

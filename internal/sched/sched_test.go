@@ -1,0 +1,361 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"predictddl/internal/cluster"
+	"predictddl/internal/graph"
+	"predictddl/internal/tensor"
+)
+
+// perfectPredictor prices jobs with an exact analytic law: time =
+// work/servers (embarrassingly parallel), where work is encoded in the
+// graph's FLOPs.
+type perfectPredictor struct{}
+
+func (perfectPredictor) Predict(g *graph.Graph, c cluster.Cluster) (float64, error) {
+	return float64(g.TotalFLOPs()) / float64(c.Size()), nil
+}
+
+func oracleFromPredictor(p Predictor) Oracle {
+	return func(g *graph.Graph, c cluster.Cluster) (float64, error) { return p.Predict(g, c) }
+}
+
+// workGraph builds a minimal valid graph whose FLOPs encode `work`.
+func workGraph(t testing.TB, name string, work int64) *graph.Graph {
+	t.Helper()
+	g := graph.New(name)
+	in := g.AddNode(&graph.Node{Op: graph.OpInput, OutChannels: 1, OutH: 1, OutW: 1})
+	c := g.AddNode(&graph.Node{Op: graph.OpConv, OutChannels: 1, OutH: 1, OutW: 1, FLOPs: work, Params: 1})
+	out := g.AddNode(&graph.Node{Op: graph.OpOutput, OutChannels: 1, OutH: 1, OutW: 1})
+	if err := g.AddEdge(in, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(c, out); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func newScheduler(t testing.TB, servers int, policy Policy) *Scheduler {
+	t.Helper()
+	p := perfectPredictor{}
+	s, err := New(Config{TotalServers: servers, Spec: cluster.SpecGPUP100(), Policy: policy}, p, oracleFromPredictor(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	p := perfectPredictor{}
+	if _, err := New(Config{TotalServers: 0, Spec: cluster.SpecGPUP100()}, p, oracleFromPredictor(p)); err == nil {
+		t.Fatal("0 servers accepted")
+	}
+	if _, err := New(Config{TotalServers: 2}, p, oracleFromPredictor(p)); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if _, err := New(Config{TotalServers: 2, Spec: cluster.SpecGPUP100()}, nil, nil); err == nil {
+		t.Fatal("nil predictor accepted")
+	}
+}
+
+func TestSmallestFeasibleAllocation(t *testing.T) {
+	s := newScheduler(t, 16, FIFO)
+	// work=80, deadline 10 → needs ≥8 servers; smallest allocation is 8.
+	rep, err := s.Simulate([]Job{{ID: "a", Graph: workGraph(t, "a", 80), Deadline: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Jobs[0]
+	if r.Rejected || r.Servers != 8 {
+		t.Fatalf("result = %+v, want 8 servers", r)
+	}
+	if !r.DeadlineMet || r.End != 10 {
+		t.Fatalf("end = %v", r.End)
+	}
+}
+
+func TestRejectsInfeasibleJob(t *testing.T) {
+	s := newScheduler(t, 4, FIFO)
+	// work=100, deadline 10 → needs 10 servers, only 4 exist.
+	rep, err := s.Simulate([]Job{{ID: "big", Graph: workGraph(t, "big", 100), Deadline: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Jobs[0].Rejected || rep.Rejected != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestQueueingWhenPartitionBusy(t *testing.T) {
+	s := newScheduler(t, 4, FIFO)
+	jobs := []Job{
+		// Takes all 4 servers for 10 s (work 40, deadline exactly 10).
+		{ID: "first", Graph: workGraph(t, "f", 40), Submit: 0, Deadline: 10},
+		// Arrives at 1; needs 1 server for 5 s; must wait until 10.
+		{ID: "second", Graph: workGraph(t, "s", 5), Submit: 1, Deadline: 30},
+	}
+	rep, err := s.Simulate(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := rep.Jobs[1]
+	if second.Start != 10 || second.End != 15 {
+		t.Fatalf("second ran %v–%v, want 10–15", second.Start, second.End)
+	}
+	if second.Waited != 9 {
+		t.Fatalf("waited %v, want 9", second.Waited)
+	}
+	if !second.DeadlineMet {
+		t.Fatal("second missed a comfortable deadline")
+	}
+}
+
+func TestDeadlineAwareAllocationGrowsUnderWait(t *testing.T) {
+	// While waiting, the job's slack shrinks, so the scheduler must grant
+	// a bigger allocation at start time.
+	s := newScheduler(t, 8, FIFO)
+	jobs := []Job{
+		{ID: "hog", Graph: workGraph(t, "h", 80), Submit: 0, Deadline: 10},   // all 8 servers, 10 s
+		{ID: "tight", Graph: workGraph(t, "t", 40), Submit: 0, Deadline: 20}, // at t=10, slack 10 → 4 servers
+	}
+	rep, err := s.Simulate(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := rep.Jobs[1]
+	if tight.Servers != 4 {
+		t.Fatalf("tight got %d servers, want 4 (slack-aware sizing)", tight.Servers)
+	}
+	if !tight.DeadlineMet {
+		t.Fatal("tight missed deadline")
+	}
+}
+
+func TestEDFOrdersByDeadline(t *testing.T) {
+	// Two jobs queued behind a hog: FIFO runs the first-submitted, EDF the
+	// tighter deadline.
+	jobs := []Job{
+		{ID: "hog", Graph: workGraph(t, "h", 40), Submit: 0, Deadline: 10},    // all 4, 10 s
+		{ID: "loose", Graph: workGraph(t, "l", 38), Submit: 1, Deadline: 40},  // arrives first
+		{ID: "urgent", Graph: workGraph(t, "u", 38), Submit: 2, Deadline: 21}, // tighter
+	}
+	fifoRep, err := newScheduler(t, 4, FIFO).Simulate(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edfRep, err := newScheduler(t, 4, EDF).Simulate(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under FIFO, "loose" starts at 10 and occupies servers; "urgent"
+	// loses slack. Under EDF, "urgent" runs first and meets its deadline.
+	if edfRep.DeadlinesMet < fifoRep.DeadlinesMet {
+		t.Fatalf("EDF met %d deadlines, FIFO %d", edfRep.DeadlinesMet, fifoRep.DeadlinesMet)
+	}
+	urgentEDF := edfRep.Jobs[2]
+	if urgentEDF.Rejected || !urgentEDF.DeadlineMet {
+		t.Fatalf("EDF failed the urgent job: %+v", urgentEDF)
+	}
+}
+
+func TestReportAggregates(t *testing.T) {
+	s := newScheduler(t, 4, FIFO)
+	jobs := []Job{
+		{ID: "a", Graph: workGraph(t, "a", 8), Deadline: 10},
+		{ID: "b", Graph: workGraph(t, "b", 1000), Deadline: 1}, // infeasible
+	}
+	rep, err := s.Simulate(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Admitted != 1 || rep.Rejected != 1 || rep.DeadlinesMet != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Utilization <= 0 || rep.Utilization > 1 {
+		t.Fatalf("utilization = %v", rep.Utilization)
+	}
+	if rep.Makespan <= 0 {
+		t.Fatalf("makespan = %v", rep.Makespan)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	s := newScheduler(t, 4, FIFO)
+	if _, err := s.Simulate([]Job{{ID: "x"}}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := s.Simulate([]Job{{ID: "x", Graph: workGraph(t, "x", 1), Submit: 5, Deadline: 1}}); err == nil {
+		t.Fatal("deadline before submit accepted")
+	}
+}
+
+func TestMaxPerJobCap(t *testing.T) {
+	p := perfectPredictor{}
+	s, err := New(Config{TotalServers: 16, Spec: cluster.SpecGPUP100(), MaxPerJob: 2}, p, oracleFromPredictor(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Needs 4 servers for its deadline but the cap is 2 → rejected.
+	rep, err := s.Simulate([]Job{{ID: "capped", Graph: workGraph(t, "c", 40), Deadline: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Jobs[0].Rejected {
+		t.Fatal("cap not enforced")
+	}
+}
+
+// Property: the scheduler never oversubscribes the partition — at any
+// instant the sum of granted servers across overlapping jobs is within
+// TotalServers.
+func TestNoOversubscriptionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		total := 2 + rng.Intn(8)
+		s := newScheduler(t, total, Policy(rng.Intn(2)))
+		var jobs []Job
+		n := 3 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			work := int64(1 + rng.Intn(50))
+			submit := rng.Uniform(0, 20)
+			jobs = append(jobs, Job{
+				ID:       string(rune('a' + i)),
+				Graph:    workGraph(t, "g", work),
+				Submit:   submit,
+				Deadline: submit + rng.Uniform(1, 60),
+			})
+		}
+		rep, err := s.Simulate(jobs)
+		if err != nil {
+			return false
+		}
+		// Check pairwise overlap capacity.
+		for i, a := range rep.Jobs {
+			if a.Rejected {
+				continue
+			}
+			usage := a.Servers
+			for j, b := range rep.Jobs {
+				if i == j || b.Rejected {
+					continue
+				}
+				if a.Start < b.End && b.Start < a.End {
+					usage += b.Servers
+				}
+			}
+			_ = usage
+		}
+		// Stronger: sweep all start/end instants.
+		type event struct {
+			t     float64
+			delta int
+		}
+		var evs []event
+		for _, r := range rep.Jobs {
+			if r.Rejected {
+				continue
+			}
+			evs = append(evs, event{r.Start, r.Servers}, event{r.End, -r.Servers})
+		}
+		// Process ends before starts at equal times.
+		for i := range evs {
+			for j := i + 1; j < len(evs); j++ {
+				if evs[j].t < evs[i].t || (evs[j].t == evs[i].t && evs[j].delta < evs[i].delta) {
+					evs[i], evs[j] = evs[j], evs[i]
+				}
+			}
+		}
+		cur := 0
+		for _, e := range evs {
+			cur += e.delta
+			if cur > total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every admitted job with a perfect predictor meets its deadline
+// or the report is internally consistent about the miss.
+func TestPerfectPredictorConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		s := newScheduler(t, 4, FIFO)
+		var jobs []Job
+		for i := 0; i < 5; i++ {
+			submit := rng.Uniform(0, 10)
+			jobs = append(jobs, Job{
+				ID:       string(rune('a' + i)),
+				Graph:    workGraph(t, "g", int64(1+rng.Intn(30))),
+				Submit:   submit,
+				Deadline: submit + rng.Uniform(5, 50),
+			})
+		}
+		rep, err := s.Simulate(jobs)
+		if err != nil {
+			return false
+		}
+		for _, r := range rep.Jobs {
+			if r.Rejected {
+				continue
+			}
+			if r.End < r.Start {
+				return false
+			}
+			if r.DeadlineMet != (r.End <= jobs[indexOf(jobs, r.ID)].Deadline) {
+				return false
+			}
+			if r.Start < jobs[indexOf(jobs, r.ID)].Submit {
+				return false // started before arrival
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func indexOf(jobs []Job, id string) int {
+	for i, j := range jobs {
+		if j.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestGanttRendering(t *testing.T) {
+	s := newScheduler(t, 4, FIFO)
+	rep, err := s.Simulate([]Job{
+		{ID: "a", Graph: workGraph(t, "a", 40), Deadline: 10},
+		{ID: "b", Graph: workGraph(t, "b", 4), Submit: 1, Deadline: 30},
+		{ID: "reject-me", Graph: workGraph(t, "r", 1000), Deadline: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rep.Gantt(40)
+	if !strings.Contains(g, "#") {
+		t.Fatalf("no execution bars:\n%s", g)
+	}
+	if !strings.Contains(g, ".") {
+		t.Fatalf("no queueing dots for job b:\n%s", g)
+	}
+	if !strings.Contains(g, "rejected") {
+		t.Fatalf("rejected job missing:\n%s", g)
+	}
+	// Degenerate inputs don't panic.
+	if out := (&Report{}).Gantt(40); !strings.Contains(out, "no jobs") {
+		t.Fatalf("empty report rendering: %q", out)
+	}
+	_ = rep.Gantt(5) // tiny width falls back to a sane default
+}

@@ -1,0 +1,89 @@
+package simulator
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"predictddl/internal/cluster"
+	"predictddl/internal/dataset"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	sim := New(1, Options{})
+	points, err := sim.RunCampaign(CampaignSpec{
+		Models:       []string{"resnet18", "vgg11"},
+		Dataset:      dataset.CIFAR10(),
+		ServerSpec:   cluster.SpecGPUP100(),
+		ServerCounts: CountRange(1, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(points) {
+		t.Fatalf("got %d points, want %d", len(back), len(points))
+	}
+	for i := range points {
+		a, b := points[i], back[i]
+		if a.Model != b.Model || a.NumServers != b.NumServers || a.Seconds != b.Seconds ||
+			a.NumParams != b.NumParams || a.FLOPs != b.FLOPs || a.NumLayers != b.NumLayers {
+			t.Fatalf("point %d differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.ClusterFeatures {
+			if a.ClusterFeatures[j] != b.ClusterFeatures[j] {
+				t.Fatalf("point %d feature %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestCSVEmptyCampaign(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Fatalf("got %d points", len(back))
+	}
+}
+
+func TestCSVRejectsBadInputs(t *testing.T) {
+	// Wrong feature width on write.
+	bad := []DataPoint{{Model: "m", Seconds: 1, ClusterFeatures: []float64{1}}}
+	if err := WriteCSV(&bytes.Buffer{}, bad); err == nil {
+		t.Fatal("short feature vector accepted")
+	}
+	// Garbage on read.
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n1,2,3\n")); err == nil {
+		t.Fatal("wrong header accepted")
+	}
+	// Right header, malformed row.
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String() + "resnet18,cifar10,notanint,spec,128,10,1,1,1,1,1,1,1,1,1,1,1,1,1\n"
+	if _, err := ReadCSV(strings.NewReader(s)); err == nil {
+		t.Fatal("malformed row accepted")
+	}
+	// Non-positive seconds rejected.
+	row := "resnet18,cifar10,1,spec,128,10,1,1,1,1,0,1,1,1,1,1,1,1,1\n"
+	if _, err := ReadCSV(strings.NewReader(buf.String() + row)); err == nil {
+		t.Fatal("zero seconds accepted")
+	}
+}

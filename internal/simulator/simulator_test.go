@@ -1,0 +1,335 @@
+package simulator
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"predictddl/internal/cluster"
+	"predictddl/internal/dataset"
+	"predictddl/internal/graph"
+)
+
+func testWorkload(t *testing.T, model string) Workload {
+	t.Helper()
+	d := dataset.CIFAR10()
+	g, err := graph.Build(model, d.GraphConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Workload{Graph: g, Dataset: d, BatchPerServer: 128, Epochs: 10}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	w := testWorkload(t, "resnet18")
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := w
+	bad.Graph = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	bad = w
+	bad.BatchPerServer = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	bad = w
+	bad.Epochs = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative epochs accepted")
+	}
+	bad = w
+	bad.Dataset = dataset.Dataset{}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestTrainingTimePositiveAndFinite(t *testing.T) {
+	s := New(1, Options{})
+	w := testWorkload(t, "resnet18")
+	for _, n := range []int{1, 2, 8, 20} {
+		c := cluster.Homogeneous(n, cluster.SpecGPUP100())
+		secs, err := s.TrainingTime(w, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if secs <= 0 || math.IsInf(secs, 0) || math.IsNaN(secs) {
+			t.Fatalf("n=%d: time = %v", n, secs)
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	w := testWorkload(t, "vgg16")
+	c := cluster.Homogeneous(4, cluster.SpecGPUP100())
+	a, _ := New(7, Options{}).TrainingTime(w, c)
+	b, _ := New(7, Options{}).TrainingTime(w, c)
+	if a != b {
+		t.Fatalf("same seed differs: %v vs %v", a, b)
+	}
+	d, _ := New(8, Options{}).TrainingTime(w, c)
+	if a == d {
+		t.Fatal("different seeds produced identical noise")
+	}
+}
+
+func TestMoreServersFasterUpToScaling(t *testing.T) {
+	// On CPU servers the step is compute-dominated, so adding servers must
+	// cut training time — sub-linearly, because of communication.
+	s := New(1, Options{NoiseSigma: -1})
+	w := testWorkload(t, "resnet50")
+	t1, _ := s.TrainingTime(w, cluster.Homogeneous(1, cluster.SpecCPUE52630()))
+	t4, _ := s.TrainingTime(w, cluster.Homogeneous(4, cluster.SpecCPUE52630()))
+	if t4 >= t1 {
+		t.Fatalf("4 servers (%v s) not faster than 1 (%v s)", t4, t1)
+	}
+	if t1/t4 >= 4 {
+		t.Fatalf("speedup %v ≥ 4 is superlinear", t1/t4)
+	}
+}
+
+func TestGPUScalingIsCommBound(t *testing.T) {
+	// On P100s at CIFAR resolution the gradient all-reduce dominates the
+	// tiny compute step, so parameter-heavy models scale poorly — the
+	// regime that defeats Ernest's black-box model in the paper.
+	s := New(1, Options{NoiseSigma: -1})
+	w := testWorkload(t, "resnet50")
+	b1, _ := s.Simulate(w, cluster.Homogeneous(1, cluster.SpecGPUP100()))
+	b8, _ := s.Simulate(w, cluster.Homogeneous(8, cluster.SpecGPUP100()))
+	if b8.CommSeconds < b8.ComputeSeconds {
+		t.Fatalf("expected comm-bound GPU regime: comm=%v compute=%v", b8.CommSeconds, b8.ComputeSeconds)
+	}
+	if speedup := b1.TotalSeconds / b8.TotalSeconds; speedup > 6 {
+		t.Fatalf("GPU speedup %v unrealistically high for comm-bound workload", speedup)
+	}
+}
+
+func TestCommunicationGrowsWithServers(t *testing.T) {
+	s := New(1, Options{NoiseSigma: -1})
+	w := testWorkload(t, "vgg16") // parameter-heavy → comm-visible
+	b2, err := s.Simulate(w, cluster.Homogeneous(2, cluster.SpecGPUP100()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b16, err := s.Simulate(w, cluster.Homogeneous(16, cluster.SpecGPUP100()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.CommSeconds <= 0 || b16.CommSeconds <= 0 {
+		t.Fatal("multi-server runs must pay communication")
+	}
+	b1, _ := s.Simulate(w, cluster.Homogeneous(1, cluster.SpecGPUP100()))
+	if b1.CommSeconds != 0 {
+		t.Fatalf("single-server run paid %v s communication", b1.CommSeconds)
+	}
+}
+
+func TestGPUFasterThanCPU(t *testing.T) {
+	s := New(1, Options{NoiseSigma: -1})
+	w := testWorkload(t, "resnet18")
+	gpu, _ := s.TrainingTime(w, cluster.Homogeneous(4, cluster.SpecGPUP100()))
+	cpu, _ := s.TrainingTime(w, cluster.Homogeneous(4, cluster.SpecCPUE52630()))
+	if gpu >= cpu {
+		t.Fatalf("GPU (%v s) not faster than CPU (%v s)", gpu, cpu)
+	}
+}
+
+func TestBiggerModelSlower(t *testing.T) {
+	s := New(1, Options{NoiseSigma: -1})
+	c := cluster.Homogeneous(4, cluster.SpecGPUP100())
+	small, _ := s.TrainingTime(testWorkload(t, "squeezenet1_1"), c)
+	big, _ := s.TrainingTime(testWorkload(t, "vgg19"), c)
+	if big <= small {
+		t.Fatalf("vgg19 (%v s) not slower than squeezenet1_1 (%v s)", big, small)
+	}
+}
+
+// Equal-FLOP architectures with different op mixes must train at different
+// speeds — the architecture-specific signal the paper's embedding captures.
+func TestEfficiencyDependsOnOpMix(t *testing.T) {
+	s := New(1, Options{})
+	dense := graph.MustBuild("vgg16", graph.DefaultConfig())
+	dw := graph.MustBuild("mobilenet_v3_large", graph.DefaultConfig())
+	effDense := s.efficiency(dense, true)
+	effDW := s.efficiency(dw, true)
+	if effDW >= effDense {
+		t.Fatalf("depthwise-heavy efficiency (%v) not below dense-conv efficiency (%v)", effDW, effDense)
+	}
+	if effDense <= 0 || effDense > 1 || effDW <= 0 {
+		t.Fatalf("efficiencies out of range: %v %v", effDense, effDW)
+	}
+}
+
+func TestLoadedClusterSlower(t *testing.T) {
+	s := New(1, Options{NoiseSigma: -1})
+	w := testWorkload(t, "resnet18")
+	idle := cluster.Homogeneous(2, cluster.SpecGPUP100())
+	busy := cluster.Homogeneous(2, cluster.SpecGPUP100())
+	for i := range busy.Servers {
+		busy.Servers[i].GPUUtil = 0.5
+	}
+	ti, _ := s.TrainingTime(w, idle)
+	tb, _ := s.TrainingTime(w, busy)
+	if tb <= ti {
+		t.Fatalf("half-loaded cluster (%v s) not slower than idle (%v s)", tb, ti)
+	}
+}
+
+func TestFullyLoadedServerErrors(t *testing.T) {
+	s := New(1, Options{})
+	w := testWorkload(t, "resnet18")
+	c := cluster.Homogeneous(1, cluster.SpecGPUP100())
+	c.Servers[0].GPUUtil = 1
+	if _, err := s.TrainingTime(w, c); err == nil {
+		t.Fatal("expected error for zero available compute")
+	}
+}
+
+func TestBreakdownSumsToTotalWithoutNoise(t *testing.T) {
+	s := New(1, Options{NoiseSigma: -1})
+	w := testWorkload(t, "resnet50")
+	b, err := s.Simulate(w, cluster.Homogeneous(8, cluster.SpecGPUP100()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := b.ComputeSeconds + b.CommSeconds + b.IOSeconds + b.OverheadSeconds
+	if math.Abs(sum-b.TotalSeconds) > 1e-9*sum {
+		t.Fatalf("breakdown sum %v != total %v", sum, b.TotalSeconds)
+	}
+	if b.Iterations != (50000/(128*8)+1)*10 {
+		t.Fatalf("iterations = %d", b.Iterations)
+	}
+}
+
+func TestNoiseIsSmall(t *testing.T) {
+	w := testWorkload(t, "resnet18")
+	c := cluster.Homogeneous(4, cluster.SpecGPUP100())
+	clean, _ := New(1, Options{NoiseSigma: -1}).TrainingTime(w, c)
+	noisy, _ := New(1, Options{}).TrainingTime(w, c)
+	if rel := math.Abs(noisy-clean) / clean; rel > 0.15 {
+		t.Fatalf("noise factor too large: %v", rel)
+	}
+}
+
+// Property: training time scales linearly with epochs (no noise).
+func TestEpochLinearityProperty(t *testing.T) {
+	s := New(1, Options{NoiseSigma: -1})
+	w := testWorkload(t, "resnet18")
+	c := cluster.Homogeneous(4, cluster.SpecGPUP100())
+	f := func(raw uint8) bool {
+		k := int(raw%8) + 1
+		w1 := w
+		w1.Epochs = 1
+		wk := w
+		wk.Epochs = k
+		t1, err1 := s.TrainingTime(w1, c)
+		tk, err2 := s.TrainingTime(wk, c)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(tk-float64(k)*t1) < 1e-6*tk+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCampaignShapeAndOrder(t *testing.T) {
+	s := New(1, Options{})
+	points, err := s.RunCampaign(CampaignSpec{
+		Models:       []string{"resnet18", "vgg16"},
+		Dataset:      dataset.CIFAR10(),
+		ServerSpec:   cluster.SpecGPUP100(),
+		ServerCounts: CountRange(1, 5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 10 {
+		t.Fatalf("points = %d, want 10", len(points))
+	}
+	for i, p := range points {
+		if p.Seconds <= 0 {
+			t.Fatalf("point %d non-positive time", i)
+		}
+		if p.NumLayers <= 0 || p.NumParams <= 0 || p.FLOPs <= 0 {
+			t.Fatalf("point %d missing gray-box features: %+v", i, p)
+		}
+		if len(p.ClusterFeatures) != len(cluster.FeatureNames()) {
+			t.Fatalf("point %d has %d cluster features", i, len(p.ClusterFeatures))
+		}
+	}
+	// Sorted by model then servers.
+	for i := 1; i < len(points); i++ {
+		a, b := points[i-1], points[i]
+		if a.Model > b.Model || (a.Model == b.Model && a.NumServers >= b.NumServers) {
+			t.Fatalf("points unsorted at %d: %s/%d then %s/%d", i, a.Model, a.NumServers, b.Model, b.NumServers)
+		}
+	}
+}
+
+func TestRunCampaignFullZooMatchesPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-zoo campaign in -short mode")
+	}
+	s := New(1, Options{})
+	points, err := s.RunCampaign(CampaignSpec{
+		Dataset:    dataset.CIFAR10(),
+		ServerSpec: cluster.SpecGPUP100(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 31 models x 20 cluster sizes = 620 points per dataset/machine class;
+	// the paper's 2,000 points span both datasets and machine classes.
+	if len(points) != 620 {
+		t.Fatalf("campaign points = %d, want 620", len(points))
+	}
+	if got := len(Models(points)); got != 31 {
+		t.Fatalf("models = %d, want 31", got)
+	}
+}
+
+func TestRunCampaignRejectsBadInputs(t *testing.T) {
+	s := New(1, Options{})
+	if _, err := s.RunCampaign(CampaignSpec{
+		Models:       []string{"not-a-model"},
+		Dataset:      dataset.CIFAR10(),
+		ServerSpec:   cluster.SpecGPUP100(),
+		ServerCounts: []int{1},
+	}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if _, err := s.RunCampaign(CampaignSpec{
+		Models:       []string{"resnet18"},
+		Dataset:      dataset.CIFAR10(),
+		ServerSpec:   cluster.SpecGPUP100(),
+		ServerCounts: []int{0},
+	}); err == nil {
+		t.Fatal("zero server count accepted")
+	}
+}
+
+func TestFilterModelAndModels(t *testing.T) {
+	pts := []DataPoint{{Model: "a"}, {Model: "b"}, {Model: "a"}}
+	if got := len(FilterModel(pts, "a")); got != 2 {
+		t.Fatalf("FilterModel = %d", got)
+	}
+	ms := Models(pts)
+	if len(ms) != 2 || ms[0] != "a" || ms[1] != "b" {
+		t.Fatalf("Models = %v", ms)
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	r := CountRange(3, 5)
+	if len(r) != 3 || r[0] != 3 || r[2] != 5 {
+		t.Fatalf("CountRange = %v", r)
+	}
+	if CountRange(5, 3) != nil {
+		t.Fatal("inverted range must be nil")
+	}
+}

@@ -1,0 +1,312 @@
+// Package tensor provides the dense linear-algebra kernels used throughout
+// PredictDDL: row-major matrices, vectors, least-squares solvers, and
+// deterministic random initialization. It is deliberately small — just the
+// operations the GHN-2 network, the regression engines, and the simulator
+// need — and has no dependencies beyond the standard library.
+//
+// All operations are deterministic. Functions that can fail due to shape
+// mismatches return errors; the Must* variants panic and are intended for
+// statically known shapes (e.g. network layer wiring).
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+//
+// The zero value is an empty 0x0 matrix. Matrices are not safe for
+// concurrent mutation; concurrent reads are safe.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative matrix dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFrom builds a rows x cols matrix from data interpreted in
+// row-major order. The slice is copied.
+func NewMatrixFrom(rows, cols int, data []float64) (*Matrix, error) {
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("tensor: data length %d does not match %dx%d", len(data), rows, cols)
+	}
+	m := NewMatrix(rows, cols)
+	copy(m.data, data)
+	return m, nil
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("tensor: ragged rows: row 0 has %d cols, row %d has %d", cols, i, len(r))
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns v to the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+// Add adds v to the element at row i, column j.
+func (m *Matrix) Add(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] += v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("tensor: index (%d,%d) out of range for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns row i as a slice backed by the matrix storage. Mutating the
+// returned slice mutates the matrix.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("tensor: row %d out of range for %dx%d matrix", i, m.rows, m.cols))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// SetRow copies v into row i.
+func (m *Matrix) SetRow(i int, v []float64) {
+	if len(v) != m.cols {
+		panic(fmt.Sprintf("tensor: SetRow length %d != cols %d", len(v), m.cols))
+	}
+	copy(m.Row(i), v)
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("tensor: col %d out of range for %dx%d matrix", j, m.rows, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// Data returns the underlying row-major storage. Mutating it mutates the
+// matrix.
+func (m *Matrix) Data() []float64 { return m.data }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Zero resets all elements to zero, preserving shape.
+func (m *Matrix) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.data {
+		m.data[i] = v
+	}
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.data[j*t.cols+i] = v
+		}
+	}
+	return t
+}
+
+// MatMul returns a*b, or an error when the inner dimensions disagree.
+func MatMul(a, b *Matrix) (*Matrix, error) {
+	if a.cols != b.rows {
+		return nil, fmt.Errorf("tensor: matmul shape mismatch %dx%d x %dx%d", a.rows, a.cols, b.rows, b.cols)
+	}
+	out := NewMatrix(a.rows, b.cols)
+	// ikj loop order keeps the inner loop streaming over contiguous rows of
+	// b, which matters for the GHN training loop where this dominates.
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MustMatMul is MatMul but panics on shape mismatch.
+func MustMatMul(a, b *Matrix) *Matrix {
+	out, err := MatMul(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// MulVec returns m*v, or an error when len(v) != Cols.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+	if len(v) != m.cols {
+		return nil, fmt.Errorf("tensor: mulvec shape mismatch %dx%d x %d", m.rows, m.cols, len(v))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = Dot(m.Row(i), v)
+	}
+	return out, nil
+}
+
+// MulVecT returns mᵀ*v (i.e. v treated as a row vector times m), or an error
+// when len(v) != Rows.
+func (m *Matrix) MulVecT(v []float64) ([]float64, error) {
+	if len(v) != m.rows {
+		return nil, fmt.Errorf("tensor: mulvecT shape mismatch %d x %dx%d", len(v), m.rows, m.cols)
+	}
+	out := make([]float64, m.cols)
+	for i, vi := range v {
+		if vi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, mv := range row {
+			out[j] += vi * mv
+		}
+	}
+	return out, nil
+}
+
+// AddInPlace adds other element-wise into m.
+func (m *Matrix) AddInPlace(other *Matrix) error {
+	if m.rows != other.rows || m.cols != other.cols {
+		return fmt.Errorf("tensor: add shape mismatch %dx%d vs %dx%d", m.rows, m.cols, other.rows, other.cols)
+	}
+	for i, v := range other.data {
+		m.data[i] += v
+	}
+	return nil
+}
+
+// ScaleInPlace multiplies every element by s.
+func (m *Matrix) ScaleInPlace(s float64) {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+}
+
+// AddScaled adds s*other element-wise into m (axpy).
+func (m *Matrix) AddScaled(other *Matrix, s float64) error {
+	if m.rows != other.rows || m.cols != other.cols {
+		return fmt.Errorf("tensor: addscaled shape mismatch %dx%d vs %dx%d", m.rows, m.cols, other.rows, other.cols)
+	}
+	for i, v := range other.data {
+		m.data[i] += s * v
+	}
+	return nil
+}
+
+// Apply replaces each element x with f(x).
+func (m *Matrix) Apply(f func(float64) float64) {
+	for i, v := range m.data {
+		m.data[i] = f(v)
+	}
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute element value, or 0 for an empty
+// matrix.
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// String renders the matrix for debugging; large matrices are elided.
+func (m *Matrix) String() string {
+	const maxShown = 8
+	var b strings.Builder
+	fmt.Fprintf(&b, "Matrix(%dx%d)[", m.rows, m.cols)
+	for i := 0; i < m.rows && i < maxShown; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j := 0; j < m.cols && j < maxShown; j++ {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%.4g", m.At(i, j))
+		}
+		if m.cols > maxShown {
+			b.WriteString(" …")
+		}
+	}
+	if m.rows > maxShown {
+		b.WriteString("; …")
+	}
+	b.WriteString("]")
+	return b.String()
+}

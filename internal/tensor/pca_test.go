@@ -1,0 +1,130 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Points along (1,1)/√2 with small orthogonal noise: PC1 must align
+	// with the diagonal.
+	rng := NewRNG(1)
+	x := NewMatrix(200, 2)
+	for i := 0; i < 200; i++ {
+		tt := rng.Normal(0, 3)
+		noise := rng.Normal(0, 0.1)
+		x.Set(i, 0, tt+noise)
+		x.Set(i, 1, tt-noise)
+	}
+	p, err := FitPCA(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc1 := p.components.Row(0)
+	align := math.Abs(Dot(pc1, []float64{1 / math.Sqrt2, 1 / math.Sqrt2}))
+	if align < 0.999 {
+		t.Fatalf("PC1 alignment with diagonal = %v", align)
+	}
+	vars := p.ExplainedVariance()
+	if vars[0] < 50*vars[1] {
+		t.Fatalf("variance ratio too small: %v", vars)
+	}
+}
+
+func TestPCAValidation(t *testing.T) {
+	if _, err := FitPCA(NewMatrix(1, 3), 1); err == nil {
+		t.Fatal("single sample accepted")
+	}
+	if _, err := FitPCA(NewMatrix(5, 3), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := FitPCA(NewMatrix(5, 3), 4); err == nil {
+		t.Fatal("k > cols accepted")
+	}
+	if _, err := FitPCA(NewMatrix(3, 10), 3); err == nil {
+		t.Fatal("k > rows-1 accepted")
+	}
+}
+
+func TestPCATransformShapes(t *testing.T) {
+	rng := NewRNG(2)
+	x := rng.GlorotMatrix(20, 6)
+	p, err := FitPCA(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Components() != 3 {
+		t.Fatalf("components = %d", p.Components())
+	}
+	out := p.TransformMatrix(x)
+	if out.Rows() != 20 || out.Cols() != 3 {
+		t.Fatalf("shape %dx%d", out.Rows(), out.Cols())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-dim Transform accepted")
+		}
+	}()
+	p.Transform([]float64{1})
+}
+
+// Property: projections onto distinct components are (near) uncorrelated
+// and components are orthonormal.
+func TestPCAOrthonormalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := NewRNG(seed)
+		x := rng.GlorotMatrix(30, 5)
+		// Add scale so the covariance is non-degenerate.
+		for i := 0; i < x.Rows(); i++ {
+			row := x.Row(i)
+			for j := range row {
+				row[j] *= float64(j + 1)
+			}
+		}
+		p, err := FitPCA(x, 3)
+		if err != nil {
+			return false
+		}
+		for a := 0; a < 3; a++ {
+			va := p.components.Row(a)
+			if !isFiniteVec(va) || math.Abs(Norm(va)-1) > 1e-6 {
+				return false
+			}
+			for b := a + 1; b < 3; b++ {
+				if math.Abs(Dot(va, p.components.Row(b))) > 1e-5 {
+					return false
+				}
+			}
+		}
+		// Variances are non-increasing.
+		vars := p.ExplainedVariance()
+		for i := 1; i < len(vars); i++ {
+			if vars[i] > vars[i-1]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPCAZeroVarianceData(t *testing.T) {
+	// All-identical rows: variance is zero, transform maps to ~origin.
+	x := NewMatrix(5, 3)
+	for i := 0; i < 5; i++ {
+		x.SetRow(i, []float64{1, 2, 3})
+	}
+	p, err := FitPCA(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Transform([]float64{1, 2, 3})
+	for _, v := range out {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("constant data projected to %v", out)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic random source used by every stochastic component in
+// PredictDDL (weight init, simulator noise, data splits). Passing seeds
+// explicitly keeps experiments reproducible bit-for-bit.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns an RNG seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Uniform returns a uniform value in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 { return lo + (hi-lo)*g.r.Float64() }
+
+// Intn returns a uniform int in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative pseudo-random 63-bit integer, used to derive
+// child seeds for parallel workers.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation.
+func (g *RNG) Normal(mean, std float64) float64 { return mean + std*g.r.NormFloat64() }
+
+// LogNormal returns exp(Normal(mu, sigma)), the noise model the training-time
+// simulator uses for run-to-run variance.
+func (g *RNG) LogNormal(mu, sigma float64) float64 { return math.Exp(g.Normal(mu, sigma)) }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// FillUniform fills dst with uniform values in [lo, hi).
+func (g *RNG) FillUniform(dst []float64, lo, hi float64) {
+	for i := range dst {
+		dst[i] = g.Uniform(lo, hi)
+	}
+}
+
+// FillNormal fills dst with Normal(mean, std) values.
+func (g *RNG) FillNormal(dst []float64, mean, std float64) {
+	for i := range dst {
+		dst[i] = g.Normal(mean, std)
+	}
+}
+
+// GlorotMatrix returns a rows x cols matrix initialized with the Glorot
+// (Xavier) uniform scheme, the initialization GHN-2's MLPs and GRU use.
+func (g *RNG) GlorotMatrix(rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	limit := math.Sqrt(6.0 / float64(rows+cols))
+	g.FillUniform(m.data, -limit, limit)
+	return m
+}

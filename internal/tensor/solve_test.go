@@ -1,0 +1,191 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskySolveKnown(t *testing.T) {
+	// SPD system: [[4,2],[2,3]] x = [10, 9] → x = [1.5, 2].
+	a, _ := NewMatrixFrom(2, 2, []float64{4, 2, 2, 3})
+	x, err := CholeskySolve(a, []float64{10, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 1.5, 1e-10) || !almostEqual(x[1], 2, 1e-10) {
+		t.Fatalf("x = %v, want [1.5 2]", x)
+	}
+}
+
+func TestCholeskySolveRejectsNonSquare(t *testing.T) {
+	if _, err := CholeskySolve(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestCholeskySolveRejectsIndefinite(t *testing.T) {
+	a, _ := NewMatrixFrom(2, 2, []float64{0, 1, 1, 0})
+	if _, err := CholeskySolve(a, []float64{1, 1}); err == nil {
+		t.Fatal("expected ErrSingular for indefinite matrix")
+	}
+}
+
+func TestLeastSquaresExactSystem(t *testing.T) {
+	// Square full-rank system must be solved exactly.
+	a, _ := NewMatrixFrom(3, 3, []float64{2, 0, 0, 0, 3, 0, 0, 0, 4})
+	x, err := LeastSquares(a, []float64{2, 6, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-10) {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2x + 1 from noiseless samples; the LS fit must recover it.
+	xs := []float64{0, 1, 2, 3, 4}
+	a := NewMatrix(len(xs), 2)
+	b := make([]float64, len(xs))
+	for i, x := range xs {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		b[i] = 2*x + 1
+	}
+	coef, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(coef[0], 1, 1e-9) || !almostEqual(coef[1], 2, 1e-9) {
+		t.Fatalf("coef = %v, want [1 2]", coef)
+	}
+}
+
+func TestLeastSquaresUnderdeterminedRejected(t *testing.T) {
+	if _, err := LeastSquares(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Fatal("expected error for rows < cols")
+	}
+}
+
+func TestRidgeSolveShrinksTowardZero(t *testing.T) {
+	rng := NewRNG(7)
+	a := rng.GlorotMatrix(30, 4)
+	b := make([]float64, 30)
+	rng.FillNormal(b, 0, 1)
+	x0, err := RidgeSolve(a, b, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, err := RidgeSolve(a, b, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Norm(x1) >= Norm(x0) {
+		t.Fatalf("ridge with larger λ must shrink solution: ‖x1‖=%v ‖x0‖=%v", Norm(x1), Norm(x0))
+	}
+}
+
+func TestRidgeSolveNegativeLambda(t *testing.T) {
+	if _, err := RidgeSolve(NewMatrix(2, 2), []float64{1, 2}, -1); err == nil {
+		t.Fatal("expected error for negative lambda")
+	}
+}
+
+func TestRidgeSolveRankDeficientFallback(t *testing.T) {
+	// Duplicate columns make AᵀA singular; λ=0 path must still succeed via
+	// the jitter fallback.
+	a, _ := NewMatrixFrom(4, 2, []float64{1, 1, 2, 2, 3, 3, 4, 4})
+	x, err := RidgeSolve(a, []float64{2, 4, 6, 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any solution with x0+x1 = 2 fits; verify residual ≈ 0.
+	for i := 0; i < 4; i++ {
+		pred := Dot(a.Row(i), x)
+		if !almostEqual(pred, float64(2*(i+1)), 1e-4) {
+			t.Fatalf("row %d residual too large: pred=%v", i, pred)
+		}
+	}
+}
+
+// Property: for random SPD systems, CholeskySolve returns x with Ax ≈ b.
+func TestCholeskySolveResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := NewRNG(seed)
+		n := 2 + rng.Intn(6)
+		g := rng.GlorotMatrix(n+2, n)
+		a := MustMatMul(g.T(), g) // Gram matrix: SPD w.h.p.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, 0.1)
+		}
+		b := make([]float64, n)
+		rng.FillNormal(b, 0, 1)
+		x, err := CholeskySolve(a, b)
+		if err != nil {
+			return false
+		}
+		ax, err := a.MulVec(x)
+		if err != nil {
+			return false
+		}
+		return Norm(SubVec(ax, b)) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the least-squares residual is orthogonal to the column space.
+func TestLeastSquaresOrthogonalResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := NewRNG(seed)
+		a := rng.GlorotMatrix(12, 4)
+		b := make([]float64, 12)
+		rng.FillNormal(b, 0, 1)
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			return false
+		}
+		ax, _ := a.MulVec(x)
+		resid := SubVec(b, ax)
+		proj, _ := a.MulVecT(resid) // Aᵀ r must be ≈ 0
+		return Norm(proj) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeastSquaresSingularColumn(t *testing.T) {
+	a := NewMatrix(4, 2) // first column all zeros
+	for i := 0; i < 4; i++ {
+		a.Set(i, 1, float64(i+1))
+	}
+	if _, err := LeastSquares(a, []float64{1, 2, 3, 4}); err == nil {
+		t.Fatal("expected singularity error for zero column")
+	}
+}
+
+func TestRidgeMatchesLeastSquaresAtTinyLambda(t *testing.T) {
+	rng := NewRNG(11)
+	a := rng.GlorotMatrix(20, 3)
+	b := make([]float64, 20)
+	rng.FillNormal(b, 0, 1)
+	ls, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := RidgeSolve(a, b, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ls {
+		if math.Abs(ls[i]-rr[i]) > 1e-5 {
+			t.Fatalf("ridge(λ→0) diverges from LS at %d: %v vs %v", i, rr[i], ls[i])
+		}
+	}
+}

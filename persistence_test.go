@@ -1,0 +1,71 @@
+package predictddl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPredictorSaveLoadRoundTrip(t *testing.T) {
+	p := sharedPredictor(t)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []string{"resnet18", "vgg16", "resnet50"} {
+		for _, servers := range []int{1, 8} {
+			a, err := p.Predict(model, servers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := back.Predict(model, servers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("%s/%d: %v != %v after round trip", model, servers, a, b)
+			}
+		}
+	}
+	if back.Dataset().Name != "cifar10" {
+		t.Fatalf("dataset = %q", back.Dataset().Name)
+	}
+	// Embeddings survive too.
+	ea, _ := p.Embedding("resnet18")
+	eb, _ := back.Embedding("resnet18")
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("embeddings differ after round trip")
+		}
+	}
+}
+
+func TestPredictorSaveLoadFile(t *testing.T) {
+	p := sharedPredictor(t)
+	path := t.TempDir() + "/predictor.pddl"
+	if err := p.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPredictorFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := p.Predict("vgg16", 4)
+	b, _ := back.Predict("vgg16", 4)
+	if a != b {
+		t.Fatalf("file round trip changed prediction: %v vs %v", a, b)
+	}
+	if _, err := LoadPredictorFile(t.TempDir() + "/missing.pddl"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadPredictorGarbage(t *testing.T) {
+	if _, err := LoadPredictor(strings.NewReader("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,186 @@
+package predictddl
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"predictddl/internal/core"
+)
+
+var (
+	predOnce sync.Once
+	pred     *Predictor
+	predErr  error
+)
+
+// sharedPredictor trains one moderate predictor for the whole test file.
+func sharedPredictor(t *testing.T) *Predictor {
+	t.Helper()
+	predOnce.Do(func() {
+		pred, predErr = Train(Options{
+			Dataset: "cifar10",
+			Models: []string{
+				"resnet18", "resnet50", "vgg11", "vgg16", "alexnet",
+				"squeezenet1_1", "mobilenet_v2", "densenet121",
+			},
+			ServerCounts: []int{1, 2, 4, 8, 12, 16, 20},
+			GHNGraphs:    96,
+			GHNEpochs:    8,
+		})
+	})
+	if predErr != nil {
+		t.Fatal(predErr)
+	}
+	return pred
+}
+
+func TestTrainRequiresDataset(t *testing.T) {
+	if _, err := Train(Options{}); err == nil {
+		t.Fatal("missing dataset accepted")
+	}
+	if _, err := Train(Options{Dataset: "mnist"}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := Train(Options{Dataset: "cifar10", ServerSpecName: "nope"}); err == nil {
+		t.Fatal("unknown server spec accepted")
+	}
+}
+
+func TestPredictKnownModel(t *testing.T) {
+	p := sharedPredictor(t)
+	secs, err := p.Predict("resnet18", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secs <= 0 || math.IsNaN(secs) {
+		t.Fatalf("predicted %v", secs)
+	}
+	if _, err := p.Predict("resnet18", 0); err == nil {
+		t.Fatal("0 servers accepted")
+	}
+	if _, err := p.Predict("no-such-model", 4); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestPredictGraphCustomCluster(t *testing.T) {
+	p := sharedPredictor(t)
+	spec, err := LookupServerSpec("cloudlab-e5-2650")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildModel("vgg16", p.Dataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs, err := p.PredictGraph(g, Homogeneous(4, spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secs <= 0 {
+		t.Fatalf("predicted %v", secs)
+	}
+}
+
+func TestEmbeddingAndSimilarity(t *testing.T) {
+	p := sharedPredictor(t)
+	e, err := p.Embedding("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e) != 32 {
+		t.Fatalf("embedding dim = %d, want 32", len(e))
+	}
+	self, err := p.Similarity("resnet18", "resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(self-1) > 1e-9 {
+		t.Fatalf("self-similarity = %v", self)
+	}
+	cross, err := p.Similarity("vgg16", "vgg19")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross <= 0 {
+		t.Fatalf("vgg16/vgg19 similarity = %v", cross)
+	}
+	if _, err := p.Similarity("vgg16", "bogus"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestZooAndLookups(t *testing.T) {
+	if len(Zoo()) != 31 {
+		t.Fatalf("zoo = %d models", len(Zoo()))
+	}
+	d, err := LookupDataset("tiny-imagenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumClasses != 200 {
+		t.Fatalf("tiny-imagenet classes = %d", d.NumClasses)
+	}
+	g, err := BuildModel("resnet18", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "resnet18" {
+		t.Fatalf("graph name %q", g.Name)
+	}
+}
+
+func TestCampaignPointsExposed(t *testing.T) {
+	p := sharedPredictor(t)
+	pts := p.CampaignPoints()
+	if len(pts) != 8*7 {
+		t.Fatalf("points = %d, want 56", len(pts))
+	}
+}
+
+func TestControllerServesPredictions(t *testing.T) {
+	p := sharedPredictor(t)
+	srv := httptest.NewServer(NewController(p).Handler())
+	defer srv.Close()
+
+	body, _ := json.Marshal(core.PredictRequest{
+		Dataset: "cifar10", Model: "resnet50", NumServers: 4,
+	})
+	resp, err := http.Post(srv.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var pr core.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.PredictedSeconds <= 0 {
+		t.Fatalf("response = %+v", pr)
+	}
+}
+
+// Reusability across architectures: predictions for two models unseen by
+// the regressor must rank correctly by cost (vgg19 ≫ squeezenet1_0).
+func TestUnseenModelsRankSanely(t *testing.T) {
+	p := sharedPredictor(t)
+	heavy, err := p.Predict("vgg19", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := p.Predict("squeezenet1_0", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy <= light {
+		t.Fatalf("vgg19 (%v s) predicted cheaper than squeezenet1_0 (%v s)", heavy, light)
+	}
+}
