@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test race vet bench verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short mode keeps the race pass fast; the full suite runs race-free logic
+# anyway and CI mirrors this target.
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/tensor/ ./internal/ghn/ ./internal/core/
+
+verify: vet build test race

@@ -1,0 +1,57 @@
+package predictddl
+
+import (
+	"testing"
+)
+
+// PredictBatch must agree bitwise with the serial Predict loop — the batch
+// path only changes scheduling, never arithmetic.
+func TestPredictBatchMatchesSerial(t *testing.T) {
+	p := sharedPredictor(t)
+	models := []string{"resnet18", "vgg11", "squeezenet1_1", "resnet18", "mobilenet_v2"}
+	batch, err := p.PredictBatch(models, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(models) {
+		t.Fatalf("batch returned %d results for %d models", len(batch), len(models))
+	}
+	for i, m := range models {
+		serial, err := p.Predict(m, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != serial {
+			t.Fatalf("%s: batch %v, serial %v", m, batch[i], serial)
+		}
+	}
+}
+
+func TestPredictBatchRejectsBadInput(t *testing.T) {
+	p := sharedPredictor(t)
+	if _, err := p.PredictBatch([]string{"resnet18"}, 0); err == nil {
+		t.Fatal("zero servers accepted")
+	}
+	if _, err := p.PredictBatch([]string{"not-a-model"}, 4); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestPredictGraphBatchPerItemErrors(t *testing.T) {
+	p := sharedPredictor(t)
+	g, err := BuildModel("vgg11", p.Dataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := Homogeneous(4, p.spec)
+	res, err := p.PredictGraphBatch([]*Graph{g, nil}, []Cluster{cl, cl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil || res[0].Seconds <= 0 {
+		t.Fatalf("good item failed: %+v", res[0])
+	}
+	if res[1].Err == nil {
+		t.Fatal("nil graph item did not record an error")
+	}
+}

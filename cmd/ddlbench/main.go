@@ -7,10 +7,18 @@
 //
 //	ddlbench [-fig all|1|2|5|6|9|10|11|12|13|baselines|hetero|sharedghn|confidence]
 //	         [-seed N] [-quick] [-dump-campaign points.csv]
+//	         [-ghn-batch N] [-ghn-parallel N] [-batch N]
 //
 // -quick downsizes the lab (fewer GHN training graphs, fewer cluster
 // sizes) for a fast smoke run; -dump-campaign exports the CIFAR-10
 // measurement campaign as CSV and exits.
+//
+// -ghn-batch and -ghn-parallel tune GHN training speed: gradients for a
+// mini-batch of N graphs are computed in parallel and reduced in fixed
+// order, so for a given -ghn-batch the figures are bit-identical at any
+// -ghn-parallel. -batch N skips the figures, trains one quick predictor,
+// and times a batch of N predictions cold (empty embedding cache) and warm
+// against the serial Predict loop.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"predictddl"
 	"predictddl/internal/experiments"
 	"predictddl/internal/simulator"
 )
@@ -29,9 +38,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic seed for the whole lab")
 	quick := flag.Bool("quick", false, "downsized lab for a fast smoke run")
 	dumpCampaign := flag.String("dump-campaign", "", "write the CIFAR-10 campaign points to this CSV file and exit")
+	ghnBatch := flag.Int("ghn-batch", 0, "GHN training mini-batch size (0 = per-graph updates)")
+	ghnParallel := flag.Int("ghn-parallel", 0, "GHN training workers per batch (0 = NumCPU, 1 = serial; results are identical either way)")
+	batchDemo := flag.Int("batch", 0, "run the batch-prediction demo over N workloads instead of the figures")
 	flag.Parse()
 
+	if *batchDemo > 0 {
+		exitOn(runBatchDemo(*batchDemo, *seed, *ghnBatch, *ghnParallel))
+		return
+	}
+
 	lab := experiments.NewLab(*seed)
+	lab.GHNBatchSize = *ghnBatch
+	lab.GHNParallelism = *ghnParallel
 	if *quick {
 		lab.GHNGraphs = 64
 		lab.GHNEpochs = 6
@@ -175,6 +194,83 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("\n%d experiment(s) regenerated in %v\n", ran, time.Since(start).Round(time.Millisecond))
+}
+
+// runBatchDemo trains a quick predictor and compares a serial Predict loop
+// against PredictBatch over n zoo workloads, cold (empty embedding cache)
+// and warm — the Fig. 13 batch-job scenario measured on this machine.
+func runBatchDemo(n int, seed int64, ghnBatch, ghnParallel int) error {
+	section(fmt.Sprintf("Batch-prediction demo — %d workloads, quick cifar10 predictor", n))
+	zoo := predictddl.Zoo()
+	models := make([]string, n)
+	for i := range models {
+		models[i] = zoo[i%len(zoo)]
+	}
+
+	trainStart := time.Now()
+	p, err := predictddl.Train(predictddl.Options{
+		Dataset:        "cifar10",
+		GHNGraphs:      64,
+		GHNEpochs:      6,
+		GHNBatchSize:   ghnBatch,
+		GHNParallelism: ghnParallel,
+		Seed:           seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained predictor in %v\n", time.Since(trainStart).Round(time.Millisecond))
+
+	// Serial loop on a fresh engine state is approximated by running it
+	// first: both paths then get one cold and one warm measurement.
+	serialCold := time.Now()
+	serial := make([]float64, n)
+	for i, m := range models {
+		if serial[i], err = p.Predict(m, 8); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("serial   cold %8v", time.Since(serialCold).Round(time.Microsecond))
+	serialWarm := time.Now()
+	for i, m := range models {
+		if serial[i], err = p.Predict(m, 8); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("   warm %8v\n", time.Since(serialWarm).Round(time.Microsecond))
+
+	// A second predictor gives the batch path its own cold cache.
+	pb, err := predictddl.Train(predictddl.Options{
+		Dataset:        "cifar10",
+		GHNGraphs:      64,
+		GHNEpochs:      6,
+		GHNBatchSize:   ghnBatch,
+		GHNParallelism: ghnParallel,
+		Seed:           seed,
+	})
+	if err != nil {
+		return err
+	}
+	batchCold := time.Now()
+	batch, err := pb.PredictBatch(models, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("batch    cold %8v", time.Since(batchCold).Round(time.Microsecond))
+	batchWarm := time.Now()
+	if batch, err = pb.PredictBatch(models, 8); err != nil {
+		return err
+	}
+	fmt.Printf("   warm %8v\n", time.Since(batchWarm).Round(time.Microsecond))
+
+	for i := range batch {
+		if batch[i] != serial[i] {
+			return fmt.Errorf("batch and serial predictions diverge at %s: %v vs %v",
+				models[i], batch[i], serial[i])
+		}
+	}
+	fmt.Printf("all %d batch predictions bit-identical to the serial loop\n", n)
+	return nil
 }
 
 func section(title string) {

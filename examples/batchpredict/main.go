@@ -39,18 +39,18 @@ func main() {
 		"resnet18", "densenet161", "mobilenet_v3_large", "squeezenet1_0",
 	}
 
+	// PredictBatch embeds the distinct architectures concurrently and
+	// returns exactly the numbers a serial Predict loop would.
 	fmt.Printf("submitting a batch of %d workloads to the trained predictor\n\n", len(batch))
-	fmt.Printf("%-22s %14s %12s\n", "workload", "pred. time", "latency")
-	var totalLatency time.Duration
-	for _, model := range batch {
-		start := time.Now()
-		secs, err := p.Predict(model, 8)
-		lat := time.Since(start)
-		if err != nil {
-			log.Fatal(err)
-		}
-		totalLatency += lat
-		fmt.Printf("%-22s %13.1fs %12v\n", model, secs, lat.Round(time.Microsecond))
+	start := time.Now()
+	secs, err := p.PredictBatch(batch, 8)
+	totalLatency := time.Since(start)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %14s\n", "workload", "pred. time")
+	for i, model := range batch {
+		fmt.Printf("%-22s %13.1fs\n", model, secs[i])
 	}
 	fmt.Printf("\nwhole batch answered in %v of predictor time — no pilot runs, no retraining\n",
 		totalLatency.Round(time.Microsecond))

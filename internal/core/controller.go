@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"predictddl/internal/cluster"
 	"predictddl/internal/graph"
@@ -146,7 +148,8 @@ func (c *Controller) checkRequest(req PredictRequest) (*InferenceEngine, *graph.
 func (c *Controller) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/predict", c.handlePredict)
-	mux.HandleFunc("/v1/batch", c.handleBatch)
+	mux.HandleFunc("/v1/predict/batch", c.handleBatch)
+	mux.HandleFunc("/v1/batch", c.handleBatch) // legacy alias
 	mux.HandleFunc("/v1/status", c.handleStatus)
 	mux.HandleFunc("/v1/models", c.handleModels)
 	return mux
@@ -185,31 +188,55 @@ func (c *Controller) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := BatchResponse{Results: make([]BatchItem, len(req.Requests))}
-	for i, pr := range req.Requests {
-		item := &resp.Results[i]
-		engine, g, cl, err := c.checkRequest(pr)
-		if err != nil {
-			item.Error = err.Error()
-			continue
-		}
-		secs, err := engine.Predict(g, cl)
-		if err != nil {
-			item.Error = err.Error()
-			continue
-		}
-		model := pr.Model
-		if model == "" {
-			model = g.Name
-		}
-		item.PredictResponse = PredictResponse{
-			Dataset:          pr.Dataset,
-			Model:            model,
-			NumServers:       cl.Size(),
-			PredictedSeconds: secs,
-			Regressor:        engine.ModelName(),
-		}
+	// Fan the batch out across a worker pool: items are independent (graph
+	// building and GHN embedding dominate) and each worker writes only its
+	// own result slots, so the response stays index-aligned and race-free.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(req.Requests) {
+		workers = len(req.Requests)
 	}
+	var next int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt32(&next, 1)) - 1
+				if i >= len(req.Requests) {
+					return
+				}
+				c.predictOne(req.Requests[i], &resp.Results[i])
+			}
+		}()
+	}
+	wg.Wait()
 	writeJSON(w, resp)
+}
+
+// predictOne resolves and predicts a single batch item.
+func (c *Controller) predictOne(pr PredictRequest, item *BatchItem) {
+	engine, g, cl, err := c.checkRequest(pr)
+	if err != nil {
+		item.Error = err.Error()
+		return
+	}
+	secs, err := engine.Predict(g, cl)
+	if err != nil {
+		item.Error = err.Error()
+		return
+	}
+	model := pr.Model
+	if model == "" {
+		model = g.Name
+	}
+	item.PredictResponse = PredictResponse{
+		Dataset:          pr.Dataset,
+		Model:            model,
+		NumServers:       cl.Size(),
+		PredictedSeconds: secs,
+		Regressor:        engine.ModelName(),
+	}
 }
 
 func (c *Controller) handlePredict(w http.ResponseWriter, r *http.Request) {

@@ -31,6 +31,9 @@ var (
 
 func sharedEngine(t *testing.T) (*InferenceEngine, *TrainResult) {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping fully-trained engine in -short mode")
+	}
 	engineOnce.Do(func() {
 		testResult, engineErr = TrainEngine(TrainOptions{
 			Dataset:     dataset.CIFAR10(),

@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"predictddl/internal/cluster"
 	"predictddl/internal/ghn"
@@ -16,14 +19,27 @@ import (
 // (§III-C). It is built once per dataset by the Offline Trainer and then
 // reused across arbitrary DNN architectures without retraining — the
 // paper's central claim.
+//
+// All methods are safe for concurrent use.
 type InferenceEngine struct {
 	dataset string
 	ghn     *ghn.GHN
 	model   regress.Regressor
 
-	mu        sync.Mutex
-	cache     map[string][]float64 // architecture name → embedding
-	reference map[string][]float64 // campaign architectures for Confidence
+	mu sync.Mutex
+	// cache is the content-addressed embedding cache: keyed by
+	// graph.Fingerprint(), so renamed, modified, and anonymous graphs all
+	// resolve correctly (a name-keyed cache returns stale embeddings when
+	// two different graphs share a zoo name).
+	cache map[string][]float64
+	// The Confidence reference set, precomputed once in SetReference:
+	// refNames is sorted so the best-match scan is deterministic, refRaw
+	// holds the embeddings as given (persisted by Save), refCentered holds
+	// them centered on refMean (what Confidence actually compares).
+	refNames    []string
+	refRaw      [][]float64
+	refCentered [][]float64
+	refMean     []float64
 }
 
 // NewInferenceEngine assembles an engine from a trained GHN and a fitted
@@ -44,17 +60,21 @@ func (e *InferenceEngine) Dataset() string { return e.dataset }
 // ModelName returns the underlying regressor family.
 func (e *InferenceEngine) ModelName() string { return e.model.Name() }
 
-// Embedding returns the (cached) GHN embedding for an architecture. Graphs
-// with empty names are embedded without caching.
+// Embedding returns the GHN embedding for an architecture, cached under the
+// graph's content fingerprint. Callers must treat the returned slice as
+// read-only: it is shared with every other caller of the same architecture.
 func (e *InferenceEngine) Embedding(g *graph.Graph) ([]float64, error) {
 	if g == nil {
 		return nil, fmt.Errorf("core: nil graph")
 	}
-	if g.Name == "" {
-		return e.ghn.Embed(g)
-	}
+	return e.embedding(g, g.Fingerprint())
+}
+
+// embedding is Embedding with the fingerprint already computed (batch paths
+// hash once up front).
+func (e *InferenceEngine) embedding(g *graph.Graph, key string) ([]float64, error) {
 	e.mu.Lock()
-	cached, ok := e.cache[g.Name]
+	cached, ok := e.cache[key]
 	e.mu.Unlock()
 	if ok {
 		return cached, nil
@@ -64,9 +84,96 @@ func (e *InferenceEngine) Embedding(g *graph.Graph) ([]float64, error) {
 		return nil, err
 	}
 	e.mu.Lock()
-	e.cache[g.Name] = emb
+	if prev, ok := e.cache[key]; ok {
+		// A concurrent caller won the race; keep one canonical slice so
+		// repeated lookups stay pointer-stable.
+		emb = prev
+	} else {
+		e.cache[key] = emb
+	}
 	e.mu.Unlock()
 	return emb, nil
+}
+
+// EmbedAll returns the embedding of every graph, index-aligned with the
+// input. Cache misses are deduplicated by fingerprint and computed
+// concurrently on a worker pool sized by GOMAXPROCS — embeddings are pure
+// functions of (weights, graph), so results are identical to the serial
+// loop.
+func (e *InferenceEngine) EmbedAll(graphs []*graph.Graph) ([][]float64, error) {
+	out := make([][]float64, len(graphs))
+	keys := make([]string, len(graphs))
+
+	// Partition into cache hits and distinct misses under one lock pass.
+	type missing struct {
+		g   *graph.Graph
+		key string
+	}
+	var misses []missing
+	seen := make(map[string]bool)
+	e.mu.Lock()
+	for i, g := range graphs {
+		if g == nil {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("core: nil graph at index %d", i)
+		}
+		keys[i] = g.Fingerprint()
+		if emb, ok := e.cache[keys[i]]; ok {
+			out[i] = emb
+		} else if !seen[keys[i]] {
+			seen[keys[i]] = true
+			misses = append(misses, missing{g: g, key: keys[i]})
+		}
+	}
+	e.mu.Unlock()
+
+	if len(misses) > 0 {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(misses) {
+			workers = len(misses)
+		}
+		embs := make([][]float64, len(misses))
+		errs := make([]error, len(misses))
+		var next int32
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt32(&next, 1)) - 1
+					if i >= len(misses) {
+						return
+					}
+					embs[i], errs[i] = e.ghn.Embed(misses[i].g)
+				}
+			}()
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("core: embedding %q: %w", misses[i].g.Name, err)
+			}
+		}
+		e.mu.Lock()
+		for i, m := range misses {
+			if prev, ok := e.cache[m.key]; ok {
+				embs[i] = prev
+			} else {
+				e.cache[m.key] = embs[i]
+			}
+		}
+		e.mu.Unlock()
+	}
+
+	e.mu.Lock()
+	for i := range out {
+		if out[i] == nil {
+			out[i] = e.cache[keys[i]]
+		}
+	}
+	e.mu.Unlock()
+	return out, nil
 }
 
 // Features builds the regression input: [embedding ‖ cluster features].
@@ -99,6 +206,43 @@ func (e *InferenceEngine) Predict(g *graph.Graph, c cluster.Cluster) (float64, e
 	return pred, nil
 }
 
+// BatchPrediction is one item of a PredictBatch result: either a predicted
+// training time or the item's error.
+type BatchPrediction struct {
+	Seconds float64
+	Err     error
+}
+
+// PredictBatch predicts every (graphs[i], clusters[i]) pair, embedding
+// distinct architectures concurrently via EmbedAll. Results are
+// index-aligned; a bad item records its error without failing the batch.
+func (e *InferenceEngine) PredictBatch(graphs []*graph.Graph, clusters []cluster.Cluster) ([]BatchPrediction, error) {
+	if len(graphs) != len(clusters) {
+		return nil, fmt.Errorf("core: batch has %d graphs but %d clusters", len(graphs), len(clusters))
+	}
+	out := make([]BatchPrediction, len(graphs))
+	// Warm the cache for every distinct architecture in one parallel pass;
+	// per-item errors (nil or cyclic graphs) fall through to the serial
+	// loop so they are reported per item.
+	valid := make([]*graph.Graph, 0, len(graphs))
+	for _, g := range graphs {
+		if g != nil {
+			valid = append(valid, g)
+		}
+	}
+	// An embed failure (e.g. a cyclic graph) is re-discovered serially
+	// below and attributed to its item.
+	_, _ = e.EmbedAll(valid)
+	for i := range graphs {
+		if graphs[i] == nil {
+			out[i].Err = fmt.Errorf("core: nil graph")
+			continue
+		}
+		out[i].Seconds, out[i].Err = e.Predict(graphs[i], clusters[i])
+	}
+	return out, nil
+}
+
 // Similarity returns the cosine similarity between two architectures in
 // the GHN embedding space (Fig. 5's distance-based similarity).
 func (e *InferenceEngine) Similarity(a, b *graph.Graph) (float64, error) {
@@ -115,15 +259,33 @@ func (e *InferenceEngine) Similarity(a, b *graph.Graph) (float64, error) {
 
 // SetReference seeds the engine with the campaign architectures' embeddings
 // so Confidence can relate new workloads to known ones. The offline trainer
-// calls this with the embeddings it already computed.
+// calls this with the embeddings it already computed. The reference mean and
+// the centered reference vectors are precomputed here, once, instead of on
+// every Confidence call.
 func (e *InferenceEngine) SetReference(embeddings map[string][]float64) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.reference = make(map[string][]float64, len(embeddings))
-	for name, emb := range embeddings {
-		e.reference[name] = tensor.CloneVec(emb)
-		e.cache[name] = e.reference[name]
+	names := make([]string, 0, len(embeddings))
+	for name := range embeddings {
+		names = append(names, name)
 	}
+	sort.Strings(names)
+
+	raw := make([][]float64, len(names))
+	var mean []float64
+	for i, name := range names {
+		raw[i] = tensor.CloneVec(embeddings[name])
+		if mean == nil {
+			mean = make([]float64, len(raw[i]))
+		}
+		tensor.AxpyInPlace(mean, raw[i], 1/float64(len(names)))
+	}
+	centered := make([][]float64, len(names))
+	for i := range raw {
+		centered[i] = tensor.SubVec(raw[i], mean)
+	}
+
+	e.mu.Lock()
+	e.refNames, e.refRaw, e.refCentered, e.refMean = names, raw, centered, mean
+	e.mu.Unlock()
 }
 
 // Confidence relates a workload to the campaign architectures: it returns
@@ -138,21 +300,15 @@ func (e *InferenceEngine) Confidence(g *graph.Graph) (string, float64, error) {
 		return "", 0, err
 	}
 	e.mu.Lock()
-	ref := e.reference
+	names, centered, mean := e.refNames, e.refCentered, e.refMean
 	e.mu.Unlock()
-	if len(ref) == 0 {
+	if len(names) == 0 {
 		return "", 0, fmt.Errorf("core: engine has no reference embeddings (trained before SetReference?)")
 	}
-	// Center on the reference mean: raw GHN embeddings share a large
-	// offset that pushes every cosine toward 1.
-	mean := make([]float64, len(emb))
-	for _, r := range ref {
-		tensor.AxpyInPlace(mean, r, 1/float64(len(ref)))
-	}
-	centered := tensor.SubVec(emb, mean)
+	centeredEmb := tensor.SubVec(emb, mean)
 	bestName, bestSim := "", -2.0
-	for name, r := range ref {
-		if sim := tensor.CosineSimilarity(centered, tensor.SubVec(r, mean)); sim > bestSim {
+	for i, name := range names {
+		if sim := tensor.CosineSimilarity(centeredEmb, centered[i]); sim > bestSim {
 			bestName, bestSim = name, sim
 		}
 	}

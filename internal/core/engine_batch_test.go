@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+
+	"predictddl/internal/cluster"
+	"predictddl/internal/ghn"
+	"predictddl/internal/graph"
+	"predictddl/internal/regress"
+	"predictddl/internal/tensor"
+)
+
+// cheapEngine builds an untrained-but-functional engine without running the
+// offline pipeline: a fresh GHN plus a linear regressor fitted on a tiny
+// synthetic design, enough for Predict/Embedding/Confidence to work.
+func cheapEngine(t testing.TB) *InferenceEngine {
+	t.Helper()
+	g := ghn.New(ghn.Config{HiddenDim: 8}, tensor.NewRNG(1))
+	cols := g.EmbeddingDim() + len(cluster.FeatureNames())
+	rng := tensor.NewRNG(2)
+	x := rng.GlorotMatrix(cols+4, cols)
+	y := make([]float64, x.Rows())
+	rng.FillUniform(y, 1, 100)
+	m := regress.NewLinearRegression()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	return NewInferenceEngine("cifar10", g, m)
+}
+
+// Regression test for the name-keyed cache collision: two distinct graphs
+// sharing a Name must not share an embedding.
+func TestEmbeddingCacheNoNameCollision(t *testing.T) {
+	e := cheapEngine(t)
+	a := graph.MustBuild("resnet18", graph.DefaultConfig())
+	b := graph.MustBuild("vgg16", graph.DefaultConfig())
+	b.Name = a.Name // a modified graph reusing a zoo name
+
+	ea, err := e.Embedding(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := e.Embedding(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.EuclideanDistance(ea, eb) < 1e-9 {
+		t.Fatal("distinct graphs with the same name returned the same embedding")
+	}
+	// And the true resnet18 still hits its own cached entry.
+	ea2, err := e.Embedding(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &ea[0] != &ea2[0] {
+		t.Fatal("cache entry lost after same-name lookup")
+	}
+}
+
+// Anonymous graphs (empty Name) must cache too — the fingerprint does not
+// depend on the name.
+func TestEmbeddingCacheAnonymousGraph(t *testing.T) {
+	e := cheapEngine(t)
+	g := graph.MustBuild("squeezenet1_1", graph.DefaultConfig())
+	g.Name = ""
+	a, err := e.Embedding(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Embedding(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("anonymous graph not cached")
+	}
+}
+
+func TestEmbedAllMatchesEmbedding(t *testing.T) {
+	e := cheapEngine(t)
+	cfg := graph.DefaultConfig()
+	graphs := []*graph.Graph{
+		graph.MustBuild("resnet18", cfg),
+		graph.MustBuild("vgg11", cfg),
+		graph.MustBuild("resnet18", cfg), // duplicate: must dedup to one compute
+		graph.MustBuild("mobilenet_v2", cfg),
+	}
+	batch, err := e.EmbedAll(graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(graphs) {
+		t.Fatalf("EmbedAll returned %d rows for %d graphs", len(batch), len(graphs))
+	}
+	for i, g := range graphs {
+		serial, err := e.Embedding(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range serial {
+			if batch[i][j] != serial[j] {
+				t.Fatalf("graph %d element %d: batch %v, serial %v", i, j, batch[i][j], serial[j])
+			}
+		}
+	}
+	// Duplicates resolve to the same cached slice.
+	if &batch[0][0] != &batch[2][0] {
+		t.Fatal("duplicate graphs did not share one cache entry")
+	}
+	if _, err := e.EmbedAll([]*graph.Graph{nil}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	e := cheapEngine(t)
+	cfg := graph.DefaultConfig()
+	spec := cluster.SpecGPUP100()
+	graphs := []*graph.Graph{
+		graph.MustBuild("resnet18", cfg),
+		graph.MustBuild("vgg11", cfg),
+		nil, // per-item failure must not fail the batch
+	}
+	clusters := []cluster.Cluster{
+		cluster.Homogeneous(2, spec),
+		cluster.Homogeneous(8, spec),
+		cluster.Homogeneous(1, spec),
+	}
+	res, err := e.PredictBatch(graphs, clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		want, err := e.Predict(graphs[i], clusters[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[i].Err != nil {
+			t.Fatalf("item %d: %v", i, res[i].Err)
+		}
+		if res[i].Seconds != want {
+			t.Fatalf("item %d: batch %v, serial %v", i, res[i].Seconds, want)
+		}
+	}
+	if res[2].Err == nil {
+		t.Fatal("nil graph item did not record an error")
+	}
+	if _, err := e.PredictBatch(graphs, clusters[:1]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// BenchmarkEmbedAll compares per-graph serial embedding against the
+// worker-pool batch path on a cold cache; on a multi-core runner the batch
+// path should scale with GOMAXPROCS.
+func BenchmarkEmbedAll(b *testing.B) {
+	cfg := graph.DefaultConfig()
+	names := []string{
+		"resnet18", "resnet34", "resnet50", "vgg11", "vgg16", "alexnet",
+		"mobilenet_v2", "mobilenet_v3_large", "squeezenet1_0", "densenet121",
+		"efficientnet_b0", "resnext50_32x4d",
+	}
+	graphs := make([]*graph.Graph, len(names))
+	for i, n := range names {
+		graphs[i] = graph.MustBuild(n, cfg)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := cheapEngine(b)
+			for _, g := range graphs {
+				if _, err := e.Embedding(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := cheapEngine(b)
+			if _, err := e.EmbedAll(graphs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -35,9 +35,9 @@ func (e *InferenceEngine) Save(w io.Writer) error {
 	}
 	ck := engineCheckpoint{Dataset: e.dataset, GHNBlob: ghnBuf.Bytes(), ModelBlob: modelBuf.Bytes()}
 	e.mu.Lock()
-	for name, emb := range e.reference {
+	for i, name := range e.refNames {
 		ck.RefNames = append(ck.RefNames, name)
-		ck.RefEmbeddings = append(ck.RefEmbeddings, append([]float64(nil), emb...))
+		ck.RefEmbeddings = append(ck.RefEmbeddings, append([]float64(nil), e.refRaw[i]...))
 	}
 	e.mu.Unlock()
 	if err := gob.NewEncoder(w).Encode(ck); err != nil {

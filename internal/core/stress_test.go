@@ -1,0 +1,170 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"predictddl/internal/cluster"
+	"predictddl/internal/graph"
+)
+
+// Hammer one engine from many goroutines across every read/write entry
+// point. The test asserts nothing beyond "no error, no race": run it under
+// -race (the CI verify target does) to check the locking discipline.
+func TestEngineConcurrentStress(t *testing.T) {
+	e := cheapEngine(t)
+	cfg := graph.DefaultConfig()
+	models := []string{"resnet18", "vgg11", "squeezenet1_1", "mobilenet_v2"}
+	graphs := make([]*graph.Graph, len(models))
+	ref := make(map[string][]float64)
+	for i, m := range models {
+		graphs[i] = graph.MustBuild(m, cfg)
+		emb, err := e.Embedding(graphs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[m] = emb
+	}
+	e.SetReference(ref)
+
+	const goroutines = 8
+	const iters = 25
+	cl := cluster.Homogeneous(4, cluster.SpecGPUP100())
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				gr := graphs[(g+i)%len(graphs)]
+				switch i % 5 {
+				case 0:
+					if _, err := e.Predict(gr, cl); err != nil {
+						errCh <- err
+						return
+					}
+				case 1:
+					if _, err := e.Embedding(gr); err != nil {
+						errCh <- err
+						return
+					}
+				case 2:
+					if _, _, err := e.Confidence(gr); err != nil {
+						errCh <- err
+						return
+					}
+				case 3:
+					e.SetReference(ref)
+				case 4:
+					if _, err := e.EmbedAll(graphs); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// The HTTP controller under parallel single and batch requests.
+func TestControllerConcurrentStress(t *testing.T) {
+	e := cheapEngine(t)
+	ctrl := NewController(NewGHNRegistry(), e)
+	srv := httptest.NewServer(ctrl.Handler())
+	defer srv.Close()
+
+	single, _ := json.Marshal(PredictRequest{
+		Dataset: "cifar10", Model: "resnet18", NumServers: 4, ServerSpec: "cloudlab-p100",
+	})
+	batch, _ := json.Marshal(BatchRequest{Requests: []PredictRequest{
+		{Dataset: "cifar10", Model: "vgg11", NumServers: 2, ServerSpec: "cloudlab-p100"},
+		{Dataset: "cifar10", Model: "squeezenet1_1", NumServers: 8, ServerSpec: "cloudlab-p100"},
+		{Dataset: "nope", Model: "vgg11", NumServers: 2}, // per-item error
+	}})
+
+	const goroutines = 6
+	const iters = 10
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				var resp *http.Response
+				var err error
+				if (g+i)%2 == 0 {
+					resp, err = http.Post(srv.URL+"/v1/predict", "application/json", bytes.NewReader(single))
+				} else {
+					resp, err = http.Post(srv.URL+"/v1/predict/batch", "application/json", bytes.NewReader(batch))
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					resp.Body.Close()
+					errCh <- errStatus(resp.StatusCode)
+					return
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+type errStatus int
+
+func (e errStatus) Error() string { return http.StatusText(int(e)) }
+
+// The batch endpoint keeps results index-aligned with requests and carries
+// per-item errors.
+func TestBatchEndpointOrderingAndErrors(t *testing.T) {
+	e := cheapEngine(t)
+	ctrl := NewController(NewGHNRegistry(), e)
+	srv := httptest.NewServer(ctrl.Handler())
+	defer srv.Close()
+
+	reqs := []PredictRequest{
+		{Dataset: "cifar10", Model: "resnet18", NumServers: 1, ServerSpec: "cloudlab-p100"},
+		{Dataset: "cifar10", Model: "bogus-model", NumServers: 1},
+		{Dataset: "cifar10", Model: "vgg11", NumServers: 3, ServerSpec: "cloudlab-p100"},
+	}
+	body, _ := json.Marshal(BatchRequest{Requests: reqs})
+	resp, err := http.Post(srv.URL+"/v1/predict/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 3 {
+		t.Fatalf("results = %d", len(br.Results))
+	}
+	if br.Results[0].Model != "resnet18" || br.Results[0].PredictedSeconds <= 0 {
+		t.Fatalf("item 0 = %+v", br.Results[0])
+	}
+	if br.Results[1].Error == "" {
+		t.Fatal("bogus model did not record an error")
+	}
+	if br.Results[2].Model != "vgg11" || br.Results[2].NumServers != 3 {
+		t.Fatalf("item 2 = %+v", br.Results[2])
+	}
+}

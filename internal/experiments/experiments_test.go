@@ -15,6 +15,9 @@ var (
 
 func testLab(t *testing.T) *Lab {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping full-lab experiment in -short mode")
+	}
 	labOnce.Do(func() {
 		lab = NewLab(1)
 		lab.GHNGraphs = 96

@@ -177,9 +177,11 @@ func (r SharedGHNRow) String() string {
 // GHNs.
 func SharedGHN(lab *Lab) ([]SharedGHNRow, error) {
 	shared, _, err := ghn.Train(ghn.Config{}, ghn.TrainConfig{
-		Graphs: lab.GHNGraphs,
-		Epochs: lab.GHNEpochs,
-		Seed:   lab.Seed + 77,
+		Graphs:      lab.GHNGraphs,
+		Epochs:      lab.GHNEpochs,
+		BatchSize:   lab.GHNBatchSize,
+		Parallelism: lab.GHNParallelism,
+		Seed:        lab.Seed + 77,
 		GraphConfigs: []graph.Config{
 			lab.CIFAR10().GraphConfig(),
 			lab.TinyImageNet().GraphConfig(),

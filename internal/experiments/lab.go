@@ -26,6 +26,12 @@ type Lab struct {
 	// GHNGraphs and GHNEpochs size the offline GHN training (defaults
 	// 192/10; tests use smaller values).
 	GHNGraphs, GHNEpochs int
+	// GHNBatchSize and GHNParallelism tune GHN training speed without
+	// changing its results for a fixed BatchSize: batches of gradients are
+	// computed in parallel and reduced in fixed order. The zero values keep
+	// the historical per-graph schedule (BatchSize 1), so every figure is
+	// bit-identical to prior releases by default.
+	GHNBatchSize, GHNParallelism int
 	// Models are the campaign architectures (default: full zoo).
 	Models []string
 	// ServerCounts are the campaign cluster sizes (default 1–20, the
@@ -80,6 +86,8 @@ func (l *Lab) GHN(d dataset.Dataset) (*ghn.GHN, error) {
 	g, _, err := ghn.Train(ghn.Config{}, ghn.TrainConfig{
 		Graphs:      l.GHNGraphs,
 		Epochs:      l.GHNEpochs,
+		BatchSize:   l.GHNBatchSize,
+		Parallelism: l.GHNParallelism,
 		Seed:        l.Seed,
 		GraphConfig: d.GraphConfig(),
 	})

@@ -58,17 +58,19 @@ func Load(r io.Reader) (*GHN, error) {
 	return g, nil
 }
 
-// SaveFile writes a checkpoint to path.
-func (g *GHN) SaveFile(path string) error {
+// SaveFile writes a checkpoint to path. A close failure (e.g. a full disk
+// flushing buffered writes) is reported exactly once.
+func (g *GHN) SaveFile(path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("ghn: save file: %w", err)
 	}
-	defer f.Close()
-	if err := g.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("ghn: save file: %w", cerr)
+		}
+	}()
+	return g.Save(f)
 }
 
 // LoadFile reads a checkpoint from path.

@@ -3,6 +3,9 @@ package ghn
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"predictddl/internal/graph"
 	"predictddl/internal/nn"
@@ -70,6 +73,18 @@ type TrainConfig struct {
 	// for multiple datasets" direction of the paper's future work (§VI).
 	// It overrides GraphConfig.
 	GraphConfigs []graph.Config
+	// BatchSize is the number of graphs whose gradients are averaged per
+	// Adam step. Defaults to 1 — the original per-graph regime. Values
+	// above 1 switch to minibatch accumulation, which is what Parallelism
+	// shards across workers.
+	BatchSize int
+	// Parallelism is the number of goroutines sharding each batch's
+	// forward/backward passes: 0 picks runtime.NumCPU(), 1 forces the
+	// serial path. Every setting yields bit-identical weights at a fixed
+	// seed: per-graph gradients land in per-graph slots and are reduced in
+	// fixed graph order before the optimizer step, so worker scheduling
+	// never reaches the arithmetic.
+	Parallelism int
 }
 
 func (tc TrainConfig) withDefaults() TrainConfig {
@@ -84,6 +99,12 @@ func (tc TrainConfig) withDefaults() TrainConfig {
 	}
 	if tc.ClipNorm <= 0 {
 		tc.ClipNorm = 5
+	}
+	if tc.BatchSize <= 0 {
+		tc.BatchSize = 1
+	}
+	if tc.Parallelism <= 0 {
+		tc.Parallelism = runtime.NumCPU()
 	}
 	return tc
 }
@@ -117,11 +138,26 @@ func Train(cfg Config, tc TrainConfig) (*GHN, TrainReport, error) {
 
 	params := g.Params()
 	opt := nn.NewAdam(tc.LR)
+
+	workers := tc.Parallelism
+	if workers > tc.BatchSize {
+		workers = tc.BatchSize
+	}
+	var pool *trainPool
+	if workers > 1 {
+		pool = newTrainPool(g, workers)
+	}
+	slots := newGradSlots(params, tc.BatchSize)
+
 	for epoch := 0; epoch < tc.Epochs; epoch++ {
 		var epochLoss float64
 		order := rng.Perm(len(graphs))
-		for _, gi := range order {
-			loss, err := g.trainStep(graphs[gi], params, opt, tc.ClipNorm)
+		for start := 0; start < len(order); start += tc.BatchSize {
+			end := start + tc.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			loss, err := g.trainBatch(graphs, order[start:end], params, opt, tc.ClipNorm, pool, slots)
 			if err != nil {
 				return nil, report, err
 			}
@@ -139,9 +175,166 @@ func Train(cfg Config, tc TrainConfig) (*GHN, TrainReport, error) {
 	return g, report, nil
 }
 
+// gradSlots holds one gradient buffer per batch position so worker
+// scheduling cannot influence summation order: slot b always receives the
+// gradient of the batch's b-th graph, and slots are reduced in ascending b.
+type gradSlots [][][]float64
+
+func newGradSlots(params []*nn.Param, batch int) gradSlots {
+	slots := make(gradSlots, batch)
+	for b := range slots {
+		slots[b] = make([][]float64, len(params))
+		for k, p := range params {
+			slots[b][k] = make([]float64, len(p.Grad.Data()))
+		}
+	}
+	return slots
+}
+
+// trainPool carries the data-parallel workers: full GHN replicas whose
+// weights are re-synced from the master before every sharded batch. The
+// forward/backward arithmetic of a graph is therefore identical no matter
+// which worker runs it.
+type trainPool struct {
+	workers []*GHN
+	params  [][]*nn.Param
+}
+
+func newTrainPool(master *GHN, n int) *trainPool {
+	p := &trainPool{workers: make([]*GHN, n), params: make([][]*nn.Param, n)}
+	for i := range p.workers {
+		p.workers[i] = master.cloneArch()
+		p.params[i] = p.workers[i].Params()
+	}
+	return p
+}
+
+// sync copies the master weights into every replica.
+func (p *trainPool) sync(master []*nn.Param) {
+	for _, wp := range p.params {
+		for k, mp := range master {
+			copy(wp[k].W.Data(), mp.W.Data())
+		}
+	}
+}
+
+// cloneArch returns a GHN with the same configuration and freshly allocated
+// parameters (weights copied), giving data-parallel workers private
+// gradient accumulators.
+func (g *GHN) cloneArch() *GHN {
+	c := New(g.cfg, tensor.NewRNG(0))
+	src, dst := g.Params(), c.Params()
+	for i := range src {
+		copy(dst[i].W.Data(), src[i].W.Data())
+	}
+	return c
+}
+
+// trainBatch runs one optimizer step over a batch of graph indices,
+// sharding the per-graph forward/backward passes across the pool when one
+// is available. The serial (pool == nil) and parallel paths produce
+// bit-identical results: both compute one gradient per graph in isolation
+// and reduce them in ascending batch order before clip + Adam.
+func (g *GHN) trainBatch(graphs []*graph.Graph, batch []int, params []*nn.Param, opt nn.Optimizer, clip float64, pool *trainPool, slots gradSlots) (float64, error) {
+	if len(batch) == 1 && pool == nil {
+		// Fast path: a single-graph batch accumulates straight into the
+		// master gradients — numerically identical to the slot path
+		// (adding one slot into zeroed gradients reproduces it exactly).
+		return g.trainStep(graphs[batch[0]], params, opt, clip)
+	}
+
+	losses := make([]float64, len(batch))
+	if pool == nil {
+		for b, gi := range batch {
+			loss, err := g.gradIntoSlot(graphs[gi], params, slots[b])
+			if err != nil {
+				return 0, err
+			}
+			losses[b] = loss
+		}
+	} else {
+		pool.sync(params)
+		var next int32
+		errs := make([]error, len(pool.workers))
+		var wg sync.WaitGroup
+		for w := range pool.workers {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				wg2, wp := pool.workers[w], pool.params[w]
+				for {
+					b := int(atomic.AddInt32(&next, 1)) - 1
+					if b >= len(batch) {
+						return
+					}
+					loss, err := wg2.gradIntoSlot(graphs[batch[b]], wp, slots[b])
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					losses[b] = loss
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	// Fixed-order reduction: ascending batch position, then mean, clip,
+	// step — the determinism barrier between sharded compute and the
+	// optimizer.
+	nn.ZeroGrads(params)
+	for b := range batch {
+		for k, p := range params {
+			tensor.AxpyInPlace(p.Grad.Data(), slots[b][k], 1)
+		}
+	}
+	inv := 1 / float64(len(batch))
+	for _, p := range params {
+		p.Grad.ScaleInPlace(inv)
+	}
+	nn.ClipGradNorm(params, clip)
+	opt.Step(params)
+
+	var total float64
+	for _, l := range losses {
+		total += l
+	}
+	return total, nil
+}
+
+// gradIntoSlot computes one graph's gradient into slot (via the receiver's
+// own accumulators) and returns its loss. It never touches the optimizer.
+func (g *GHN) gradIntoSlot(gr *graph.Graph, params []*nn.Param, slot [][]float64) (float64, error) {
+	loss, err := g.gradStep(gr, params)
+	if err != nil {
+		return 0, err
+	}
+	for k, p := range params {
+		copy(slot[k], p.Grad.Data())
+	}
+	return loss, nil
+}
+
 // trainStep performs one forward/backward/update on a single graph and
 // returns the loss.
 func (g *GHN) trainStep(gr *graph.Graph, params []*nn.Param, opt nn.Optimizer, clip float64) (float64, error) {
+	loss, err := g.gradStep(gr, params)
+	if err != nil {
+		return 0, err
+	}
+	nn.ClipGradNorm(params, clip)
+	opt.Step(params)
+	return loss, nil
+}
+
+// gradStep zeroes the gradient accumulators and runs one forward/backward
+// pass on a single graph, leaving the graph's gradient in params.
+func (g *GHN) gradStep(gr *graph.Graph, params []*nn.Param) (float64, error) {
 	st, err := g.forward(gr)
 	if err != nil {
 		return 0, err
@@ -174,8 +367,6 @@ func (g *GHN) trainStep(gr *graph.Graph, params []*nn.Param, opt nn.Optimizer, c
 	gradReadout := g.proj.Backward(readout, gradEmb)
 
 	g.backward(st, gradNodes, gradReadout)
-	nn.ClipGradNorm(params, clip)
-	opt.Step(params)
 	return total, nil
 }
 

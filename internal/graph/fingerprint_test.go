@@ -1,0 +1,54 @@
+package graph
+
+import "testing"
+
+func TestFingerprintStableAndNameIndependent(t *testing.T) {
+	a := MustBuild("resnet18", DefaultConfig())
+	b := MustBuild("resnet18", DefaultConfig())
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical builds produced different fingerprints")
+	}
+	// The name is presentation-only: renaming must not change the hash.
+	b.Name = "totally-different"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("renaming changed the fingerprint")
+	}
+}
+
+func TestFingerprintDistinguishesContent(t *testing.T) {
+	cfg := DefaultConfig()
+	a := MustBuild("resnet18", cfg)
+	b := MustBuild("resnet34", cfg)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("distinct architectures share a fingerprint")
+	}
+	// Same topology, one shape field changed.
+	c := MustBuild("resnet18", cfg)
+	c.Nodes[1].OutChannels++
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("shape change not reflected in fingerprint")
+	}
+	// Same nodes, one extra edge.
+	d := MustBuild("resnet18", cfg)
+	if err := d.AddEdge(0, d.NumNodes()-1); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Fatal("edge change not reflected in fingerprint")
+	}
+}
+
+func TestFingerprintAnonymousGraph(t *testing.T) {
+	g := New("")
+	in := g.AddNode(&Node{Op: OpInput, OutChannels: 3, OutH: 4, OutW: 4})
+	out := g.AddNode(&Node{Op: OpOutput, OutChannels: 3, OutH: 4, OutW: 4})
+	if err := g.AddEdge(in, out); err != nil {
+		t.Fatal(err)
+	}
+	if g.Fingerprint() == "" {
+		t.Fatal("anonymous graph has empty fingerprint")
+	}
+	if g.Fingerprint() != g.Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+}

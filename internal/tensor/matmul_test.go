@@ -1,0 +1,147 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// naiveMatMul is the reference single-threaded ikj kernel the blocked
+// parallel implementation must match bit-for-bit.
+func naiveMatMul(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows(), b.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// The blocked/parallel kernel must be bit-identical to the naive serial
+// kernel across shapes that cross the blocking and parallelism thresholds,
+// at every GOMAXPROCS setting.
+func TestMatMulMatchesNaiveBitwise(t *testing.T) {
+	shapes := [][3]int{
+		{1, 1, 1}, {3, 5, 7}, {64, 64, 64},
+		{130, 257, 129}, // straddles matMulBlockK
+		{200, 300, 150}, // above matMulParallelFlops
+	}
+	for _, procs := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		for _, s := range shapes {
+			rng := NewRNG(int64(s[0]*1000 + s[1]*10 + s[2]))
+			a := rng.GlorotMatrix(s[0], s[1])
+			b := rng.GlorotMatrix(s[1], s[2])
+			got := MustMatMul(a, b)
+			want := naiveMatMul(a, b)
+			for i := range want.Data() {
+				if got.Data()[i] != want.Data()[i] {
+					t.Fatalf("GOMAXPROCS=%d shape %v: element %d differs: %v vs %v",
+						procs, s, i, got.Data()[i], want.Data()[i])
+				}
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+}
+
+func TestMatMulInto(t *testing.T) {
+	rng := NewRNG(1)
+	a := rng.GlorotMatrix(40, 30)
+	b := rng.GlorotMatrix(30, 20)
+	dst := NewMatrix(40, 20)
+	dst.Fill(99) // stale contents must be discarded
+	if err := MatMulInto(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	want := naiveMatMul(a, b)
+	for i := range want.Data() {
+		if dst.Data()[i] != want.Data()[i] {
+			t.Fatalf("element %d differs after MatMulInto", i)
+		}
+	}
+	// Second use of the same buffer stays correct.
+	if err := MatMulInto(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data() {
+		if dst.Data()[i] != want.Data()[i] {
+			t.Fatalf("element %d differs on buffer reuse", i)
+		}
+	}
+}
+
+func TestMatMulIntoRejectsBadShapes(t *testing.T) {
+	a := NewMatrix(4, 3)
+	b := NewMatrix(3, 2)
+	if err := MatMulInto(NewMatrix(4, 3), a, b); err == nil {
+		t.Fatal("wrong dst shape accepted")
+	}
+	if err := MatMulInto(NewMatrix(4, 2), a, NewMatrix(5, 2)); err == nil {
+		t.Fatal("inner mismatch accepted")
+	}
+	if err := MatMulInto(a, a, b); err == nil {
+		t.Fatal("aliased dst accepted")
+	}
+}
+
+func benchmarkMatMulSize(b *testing.B, n int) {
+	rng := NewRNG(int64(n))
+	x := rng.GlorotMatrix(n, n)
+	y := rng.GlorotMatrix(n, n)
+	b.SetBytes(int64(n) * int64(n) * int64(n) * 16) // 2 flops x 8 bytes
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MustMatMul(x, y)
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B)  { benchmarkMatMulSize(b, 64) }
+func BenchmarkMatMul128(b *testing.B) { benchmarkMatMulSize(b, 128) }
+func BenchmarkMatMul256(b *testing.B) { benchmarkMatMulSize(b, 256) }
+func BenchmarkMatMul512(b *testing.B) { benchmarkMatMulSize(b, 512) }
+
+// BenchmarkMatMulSerialVsParallel pins GOMAXPROCS to compare the serial
+// baseline against the full-machine kernel on one shape.
+func BenchmarkMatMulSerialVsParallel(b *testing.B) {
+	const n = 384
+	rng := NewRNG(7)
+	x := rng.GlorotMatrix(n, n)
+	y := rng.GlorotMatrix(n, n)
+	for _, procs := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("procs%d", procs), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			b.SetBytes(int64(n) * int64(n) * int64(n) * 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MustMatMul(x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkMatMulInto measures the steady-state path that reuses the output
+// buffer instead of allocating per call.
+func BenchmarkMatMulInto(b *testing.B) {
+	const n = 128
+	rng := NewRNG(3)
+	x := rng.GlorotMatrix(n, n)
+	y := rng.GlorotMatrix(n, n)
+	dst := NewMatrix(n, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := MatMulInto(dst, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -12,7 +12,9 @@ package tensor
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
+	"sync"
 )
 
 // Matrix is a dense row-major matrix of float64 values.
@@ -164,28 +166,116 @@ func (m *Matrix) T() *Matrix {
 	return t
 }
 
-// MatMul returns a*b, or an error when the inner dimensions disagree.
+// matMulBlockK is the number of b rows a kernel pass keeps hot: a
+// 128 x 128 float64 panel is 128 KiB, comfortably inside L2, so every row
+// of the output chunk re-reads the panel from cache instead of memory.
+const matMulBlockK = 128
+
+// matMulParallelFlops is the work threshold (multiply-adds) above which
+// MatMul fans out across GOMAXPROCS row partitions. Small products are
+// cheaper on one core than the goroutine handoff.
+const matMulParallelFlops = 1 << 18
+
+// matMulWorkers picks the worker count for an m x k x n product.
+func matMulWorkers(m, k, n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > m {
+		w = m
+	}
+	if w <= 1 || int64(m)*int64(k)*int64(n) < matMulParallelFlops {
+		return 1
+	}
+	return w
+}
+
+// matMulRange computes out rows [i0, i1) of a*b, blocked over k so a panel
+// of b rows stays cache-resident across the chunk. For every output element
+// the k accumulation order is ascending — identical to the naive ikj kernel
+// — so blocked, serial, and parallel paths are bit-for-bit interchangeable.
+func matMulRange(out, a, b *Matrix, i0, i1 int) {
+	for k0 := 0; k0 < a.cols; k0 += matMulBlockK {
+		k1 := k0 + matMulBlockK
+		if k1 > a.cols {
+			k1 = a.cols
+		}
+		for i := i0; i < i1; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for k := k0; k < k1; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// matMulDispatch accumulates a*b into out (which must be zeroed), running
+// the blocked kernel on row partitions across workers when the product is
+// large enough. Row partitioning keeps results bit-identical to the serial
+// kernel for any worker count: each output row is owned by exactly one
+// goroutine and computed with the same accumulation order.
+func matMulDispatch(out, a, b *Matrix) {
+	workers := matMulWorkers(a.rows, a.cols, b.cols)
+	if workers <= 1 {
+		matMulRange(out, a, b, 0, a.rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (a.rows + workers - 1) / workers
+	for i0 := 0; i0 < a.rows; i0 += chunk {
+		i1 := i0 + chunk
+		if i1 > a.rows {
+			i1 = a.rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRange(out, a, b, lo, hi)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+// sharesStorage reports whether two matrices are backed by the same array.
+func sharesStorage(x, y *Matrix) bool {
+	return len(x.data) > 0 && len(y.data) > 0 && &x.data[0] == &y.data[0]
+}
+
+// MatMul returns a*b, or an error when the inner dimensions disagree. Large
+// products run on a cache-blocked, row-partitioned parallel kernel; the
+// result is bit-identical to the single-threaded one for any GOMAXPROCS.
 func MatMul(a, b *Matrix) (*Matrix, error) {
 	if a.cols != b.rows {
 		return nil, fmt.Errorf("tensor: matmul shape mismatch %dx%d x %dx%d", a.rows, a.cols, b.rows, b.cols)
 	}
 	out := NewMatrix(a.rows, b.cols)
-	// ikj loop order keeps the inner loop streaming over contiguous rows of
-	// b, which matters for the GHN training loop where this dominates.
-	for i := 0; i < a.rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	matMulDispatch(out, a, b)
 	return out, nil
+}
+
+// MatMulInto computes a*b into dst, reusing dst's storage (steady-state
+// loops avoid reallocating the output every step). dst must already have
+// shape a.Rows x b.Cols and must not alias a or b; its previous contents
+// are discarded.
+func MatMulInto(dst, a, b *Matrix) error {
+	if a.cols != b.rows {
+		return fmt.Errorf("tensor: matmul shape mismatch %dx%d x %dx%d", a.rows, a.cols, b.rows, b.cols)
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		return fmt.Errorf("tensor: matmul dst shape %dx%d, want %dx%d", dst.rows, dst.cols, a.rows, b.cols)
+	}
+	if sharesStorage(dst, a) || sharesStorage(dst, b) {
+		return fmt.Errorf("tensor: matmul dst must not alias an operand")
+	}
+	dst.Zero()
+	matMulDispatch(dst, a, b)
+	return nil
 }
 
 // MustMatMul is MatMul but panics on shape mismatch.

@@ -112,6 +112,13 @@ type Options struct {
 	// GHNGraphs / GHNEpochs control offline GHN training (defaults
 	// 256 / 8).
 	GHNGraphs, GHNEpochs int
+	// GHNBatchSize is the GHN training mini-batch size (default 1, the
+	// per-graph update schedule). Values > 1 average gradients over the
+	// batch and unlock data-parallel training.
+	GHNBatchSize int
+	// GHNParallelism caps the GHN training workers per batch: 0 uses
+	// NumCPU, 1 forces serial. Results are bit-identical for every value.
+	GHNParallelism int
 	// Regressor overrides the prediction model (default: generalized
 	// linear regression on log time).
 	Regressor Regressor
@@ -158,9 +165,11 @@ func Train(opts Options) (*Predictor, error) {
 		Dataset:   d,
 		GHNConfig: ghn.Config{EmbedDim: opts.EmbeddingDim},
 		GHNTraining: ghn.TrainConfig{
-			Graphs: opts.GHNGraphs,
-			Epochs: opts.GHNEpochs,
-			Seed:   seed,
+			Graphs:      opts.GHNGraphs,
+			Epochs:      opts.GHNEpochs,
+			BatchSize:   opts.GHNBatchSize,
+			Parallelism: opts.GHNParallelism,
+			Seed:        seed,
 		},
 		Campaign: simulator.CampaignSpec{
 			Models:       opts.Models,
@@ -194,6 +203,47 @@ func (p *Predictor) Predict(model string, servers int) (float64, error) {
 // graph on an arbitrary cluster — the fully general entry point.
 func (p *Predictor) PredictGraph(g *Graph, c Cluster) (float64, error) {
 	return p.engine.Predict(g, c)
+}
+
+// PredictBatch predicts every zoo model on the same cluster size in one
+// call. Distinct architectures are embedded concurrently, so a batch over
+// many models is substantially faster than a Predict loop on multi-core
+// machines (the paper's Fig. 13 batch-job scenario). Results are
+// index-aligned with models.
+func (p *Predictor) PredictBatch(models []string, servers int) ([]float64, error) {
+	if servers < 1 {
+		return nil, fmt.Errorf("predictddl: need at least 1 server, got %d", servers)
+	}
+	graphs := make([]*Graph, len(models))
+	clusters := make([]Cluster, len(models))
+	cl := cluster.Homogeneous(servers, p.spec)
+	for i, m := range models {
+		g, err := BuildModel(m, p.dataset)
+		if err != nil {
+			return nil, err
+		}
+		graphs[i] = g
+		clusters[i] = cl
+	}
+	res, err := p.engine.PredictBatch(graphs, clusters)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(res))
+	for i, r := range res {
+		if r.Err != nil {
+			return nil, fmt.Errorf("predictddl: batch item %d (%s): %w", i, models[i], r.Err)
+		}
+		out[i] = r.Seconds
+	}
+	return out, nil
+}
+
+// PredictGraphBatch is PredictBatch for arbitrary (graph, cluster) pairs.
+// It returns per-item results: a bad item records its error without
+// failing the whole batch.
+func (p *Predictor) PredictGraphBatch(graphs []*Graph, clusters []Cluster) ([]core.BatchPrediction, error) {
+	return p.engine.PredictBatch(graphs, clusters)
 }
 
 // Embedding returns the GHN embedding of a zoo architecture.
@@ -265,17 +315,19 @@ func (p *Predictor) Save(w io.Writer) error {
 	return nil
 }
 
-// SaveFile persists the predictor to a file.
-func (p *Predictor) SaveFile(path string) error {
+// SaveFile persists the predictor to a file. A close failure (e.g. a full
+// disk flushing buffered writes) is reported exactly once.
+func (p *Predictor) SaveFile(path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("predictddl: save file: %w", err)
 	}
-	defer f.Close()
-	if err := p.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("predictddl: save file: %w", cerr)
+		}
+	}()
+	return p.Save(f)
 }
 
 // predictorCheckpoint is the on-disk predictor format.
@@ -307,17 +359,21 @@ func LoadPredictor(r io.Reader) (*Predictor, error) {
 }
 
 // LoadPredictorFile restores a predictor from a file.
-func LoadPredictorFile(path string) (*Predictor, error) {
+func LoadPredictorFile(path string) (p *Predictor, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("predictddl: load file: %w", err)
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			p, err = nil, fmt.Errorf("predictddl: load file: %w", cerr)
+		}
+	}()
 	return LoadPredictor(f)
 }
 
 // NewController wraps predictors in an HTTP controller serving
-// /v1/predict, /v1/status, and /v1/models.
+// /v1/predict, /v1/predict/batch, /v1/status, and /v1/models.
 func NewController(ps ...*Predictor) *Controller {
 	reg := core.NewGHNRegistry()
 	engines := make([]*core.InferenceEngine, len(ps))

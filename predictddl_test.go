@@ -21,6 +21,9 @@ var (
 // sharedPredictor trains one moderate predictor for the whole test file.
 func sharedPredictor(t *testing.T) *Predictor {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping trained predictor in -short mode")
+	}
 	predOnce.Do(func() {
 		pred, predErr = Train(Options{
 			Dataset: "cifar10",
