@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench verify
+.PHONY: all build test race vet ddlvet bench verify
 
 all: verify
 
@@ -10,8 +10,15 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project-specific determinism/concurrency checks (DESIGN.md §7); exits
+# non-zero on any non-suppressed diagnostic.
+ddlvet:
+	$(GO) run ./cmd/ddlvet ./...
+
+# -shuffle=on randomizes test order so inter-test state dependence fails
+# loudly instead of passing by accident.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Short mode keeps the race pass fast; the full suite runs race-free logic
 # anyway and CI mirrors this target.
@@ -21,4 +28,4 @@ race:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/tensor/ ./internal/ghn/ ./internal/core/
 
-verify: vet build test race
+verify: vet build ddlvet test race

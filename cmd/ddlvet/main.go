@@ -1,0 +1,120 @@
+// Command ddlvet is the project's static-analysis gate: it loads,
+// type-checks, and lints the module with the determinism and concurrency
+// checks in internal/analysis (DESIGN.md §7).
+//
+// Usage:
+//
+//	ddlvet [-checks id,id,...] [-list] [packages]
+//
+// Packages may be `./...` (the whole module, the default) or individual
+// directories. Exit codes: 0 clean, 1 diagnostics found, 2 load/usage
+// error. Findings print as
+//
+//	file:line:col: message [check/severity]
+//
+// and are suppressed per-line with `//ddlvet:ignore CHECKID reason`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"predictddl/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ddlvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checksFlag := fs.String("checks", "", "comma-separated check IDs to run (default: all)")
+	listFlag := fs.Bool("list", false, "list available checks and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	checks := analysis.Checks()
+	if *listFlag {
+		for _, a := range checks {
+			fmt.Fprintf(stdout, "%-12s %-8s %s\n", a.ID, a.Severity, a.Doc)
+		}
+		return 0
+	}
+	if *checksFlag != "" {
+		byID := map[string]*analysis.Analyzer{}
+		for _, a := range checks {
+			byID[a.ID] = a
+		}
+		checks = checks[:0]
+		for _, id := range strings.Split(*checksFlag, ",") {
+			a, ok := byID[strings.TrimSpace(id)]
+			if !ok {
+				fmt.Fprintf(stderr, "ddlvet: unknown check %q (run ddlvet -list)\n", id)
+				return 2
+			}
+			checks = append(checks, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := analysis.NewLoader()
+	var pkgs []*analysis.Package
+	for _, pat := range patterns {
+		loaded, err := loadPattern(loader, pat)
+		if err != nil {
+			fmt.Fprintf(stderr, "ddlvet: %v\n", err)
+			return 2
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		for _, d := range analysis.RunChecks(pkg, checks) {
+			found++
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(stderr, "ddlvet: %d diagnostic(s) in %d package(s)\n", found, len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// loadPattern loads `dir/...` recursively or a single package directory.
+func loadPattern(loader *analysis.Loader, pat string) ([]*analysis.Package, error) {
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		if rest == "." || rest == "" {
+			rest = "."
+		}
+		return loader.LoadModule(rest)
+	}
+	root, err := analysis.ModuleRoot(pat)
+	if err != nil {
+		return nil, err
+	}
+	abs, err := filepath.Abs(pat)
+	if err != nil {
+		return nil, err
+	}
+	// Derive the import path from the module root, mirroring LoadModule.
+	pkgs, err := loader.LoadModule(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pkgs {
+		if p.Dir == abs {
+			return []*analysis.Package{p}, nil
+		}
+	}
+	return nil, fmt.Errorf("no buildable package in %s", pat)
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// buildBinary compiles ddlvet once per test binary into a temp dir.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ddlvet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runBinary executes the built binary in dir and returns stdout, stderr,
+// and the exit code.
+func runBinary(t *testing.T, bin, dir string, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("run %s: %v", bin, err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// diagLineRE pins the diagnostic output contract:
+// file:line:col: message [check/severity]
+var diagLineRE = regexp.MustCompile(`^.+\.go:\d+:\d+: .+ \[[a-z]+/(error|warning)\]$`)
+
+func TestBinaryAgainstFixtureModule(t *testing.T) {
+	bin := buildBinary(t)
+	fixture, err := filepath.Abs("testdata/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stdout, stderr, code := runBinary(t, bin, fixture, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1 (the suppressed and clean sites must stay silent):\n%s", len(lines), stdout)
+	}
+	if !diagLineRE.MatchString(lines[0]) {
+		t.Errorf("diagnostic %q does not match the format contract %v", lines[0], diagLineRE)
+	}
+	if !strings.Contains(lines[0], "bad.go:10:") || !strings.Contains(lines[0], "[floatorder/error]") {
+		t.Errorf("diagnostic %q should point at bad.go:10 with check floatorder", lines[0])
+	}
+	if !strings.Contains(stderr, "1 diagnostic(s)") {
+		t.Errorf("stderr summary missing: %q", stderr)
+	}
+}
+
+func TestBinaryCheckSelectionAndCleanExit(t *testing.T) {
+	bin := buildBinary(t)
+	fixture, err := filepath.Abs("testdata/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Only closecheck requested: the fixture's floatorder finding must not
+	// fire, so the run is clean.
+	stdout, stderr, code := runBinary(t, bin, fixture, "-checks=closecheck", "./...")
+	if code != 0 || stdout != "" {
+		t.Fatalf("exit = %d stdout = %q stderr = %q, want clean exit 0", code, stdout, stderr)
+	}
+
+	// Unknown check IDs are a usage error.
+	_, stderr, code = runBinary(t, bin, fixture, "-checks=nope", "./...")
+	if code != 2 || !strings.Contains(stderr, `unknown check "nope"`) {
+		t.Fatalf("exit = %d stderr = %q, want usage error 2", code, stderr)
+	}
+}
+
+func TestBinaryListsChecks(t *testing.T) {
+	bin := buildBinary(t)
+	stdout, _, code := runBinary(t, bin, ".", "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, id := range []string{"apierr", "closecheck", "floatorder", "maporder", "timenow", "waitgroup"} {
+		if !strings.Contains(stdout, id) {
+			t.Errorf("-list output missing check %q:\n%s", id, stdout)
+		}
+	}
+}

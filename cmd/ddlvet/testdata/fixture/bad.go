@@ -1,0 +1,13 @@
+// Package fixture is the end-to-end corpus for the ddlvet binary test:
+// one known floatorder violation, one suppressed occurrence, and clean
+// code, so the test can assert exit codes and diagnostic formatting.
+package fixture
+
+// Mean accumulates in map-iteration order: ddlvet must flag this line.
+func Mean(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum / float64(len(m))
+}

@@ -1,0 +1,26 @@
+package fixture
+
+import "sort"
+
+// SortedMean accumulates over sorted keys: no diagnostic.
+func SortedMean(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum / float64(len(m))
+}
+
+// SuppressedMean carries a justified waiver: no diagnostic.
+func SuppressedMean(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //ddlvet:ignore floatorder fixture exercises end-to-end suppression
+	}
+	return sum
+}

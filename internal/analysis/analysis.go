@@ -1,0 +1,146 @@
+// Package analysis is ddlvet's engine: a stdlib-only static-analysis
+// framework plus the project-specific checks that machine-enforce the
+// determinism and concurrency invariants documented in DESIGN.md §6–§7.
+//
+// The framework deliberately avoids golang.org/x/tools: packages are
+// discovered with go/build, parsed with go/parser, and type-checked with
+// go/types using the stdlib "source" importer, so ddlvet runs anywhere the
+// Go toolchain source tree is installed and adds no dependencies.
+//
+// Each check has a stable ID, a severity, and per-line suppression via
+//
+//	//ddlvet:ignore CHECKID reason
+//
+// placed on the flagged line or the line directly above it. Suppressions
+// without a reason are rejected (and reported), so every waiver is
+// self-documenting.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Severity classifies how a diagnostic gates the build.
+type Severity int
+
+const (
+	// SevWarning marks style/robustness findings.
+	SevWarning Severity = iota
+	// SevError marks determinism or resource-safety violations.
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Analyzer is one ddlvet check.
+type Analyzer struct {
+	// ID is the stable check identifier used in output and in
+	// //ddlvet:ignore directives.
+	ID string
+	// Doc is a one-line description shown by `ddlvet -list`.
+	Doc string
+	// Severity applies to every diagnostic the check reports.
+	Severity Severity
+	// Match, when non-nil, restricts the check to packages whose import
+	// path it accepts. Nil means the check runs on every package.
+	Match func(pkgPath string) bool
+	// Run inspects one type-checked package and reports diagnostics.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	PkgPath  string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Check:    p.Analyzer.ID,
+		Severity: p.Analyzer.Severity,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Check    string
+	Severity Severity
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s/%s]",
+		d.Position.Filename, d.Position.Line, d.Position.Column,
+		d.Message, d.Check, d.Severity)
+}
+
+// Checks returns the full ddlvet check set in stable ID order.
+func Checks() []*Analyzer {
+	all := []*Analyzer{
+		AnalyzerAPIErr,
+		AnalyzerCloseCheck,
+		AnalyzerFloatOrder,
+		AnalyzerMapOrder,
+		AnalyzerTimeNow,
+		AnalyzerWaitGroup,
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	return all
+}
+
+// RunChecks runs the given analyzers over one loaded package and returns
+// the diagnostics that survive //ddlvet:ignore suppression, sorted by
+// position then check ID. Malformed suppression directives are themselves
+// reported under the pseudo-check "ignore".
+func RunChecks(pkg *Package, checks []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range checks {
+		if a.Match != nil && !a.Match(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			PkgPath:  pkg.Path,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		a.Run(pass)
+	}
+	diags = filterSuppressed(pkg, diags)
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}

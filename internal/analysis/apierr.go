@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerAPIErr enforces error-context hygiene at the API surface of
+// internal/core and internal/cluster: an exported function must not
+// propagate an error obtained from *another package* bare. Callers of the
+// serving layer see "ghn: load: unexpected EOF" and cannot tell which
+// operation failed; wrapping with fmt.Errorf("core: <op>: %w", err) keeps
+// the chain inspectable while adding the missing context.
+var AnalyzerAPIErr = &Analyzer{
+	ID:       "apierr",
+	Doc:      "exported core/cluster functions must wrap cross-package errors with local context",
+	Severity: SevWarning,
+	Match:    apiPkg,
+	Run:      runAPIErr,
+}
+
+func apiPkg(pkgPath string) bool {
+	switch pkgPath[strings.LastIndex(pkgPath, "/")+1:] {
+	case "core", "cluster":
+		return true
+	}
+	return false
+}
+
+func runAPIErr(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			checkBareErrors(pass, fd)
+		}
+	}
+}
+
+// errWrappers build new errors with context and are exempt from the
+// cross-package rule even though fmt/errors are other packages.
+var errWrappers = map[string]map[string]bool{
+	"fmt":    {"Errorf": true},
+	"errors": {"New": true, "Join": true},
+}
+
+// checkBareErrors flags `return err` where err's latest assignment (in
+// source order before the return) came from a call into another package.
+// This is a lexical approximation of data flow, which matches the
+// straight-line `x, err := pkg.F(); if err != nil { return err }` shape
+// this codebase uses everywhere.
+func checkBareErrors(pass *Pass, fd *ast.FuncDecl) {
+	type lastAssign struct {
+		pos     int // file offset of the assignment
+		foreign string
+	}
+	assigns := map[types.Object][]lastAssign{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		foreign := foreignCallee(pass, call)
+		for _, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" || !isErrorIdent(pass, id) {
+				continue
+			}
+			obj := objOf(pass, id)
+			if obj == nil {
+				continue
+			}
+			assigns[obj] = append(assigns[obj], lastAssign{pos: int(assign.Pos()), foreign: foreign})
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			// return pkg.F(...) — the foreign error crosses the API
+			// boundary with no local context at all.
+			if call, ok := res.(*ast.CallExpr); ok {
+				if foreign := foreignCallee(pass, call); foreign != "" && returnsError(pass, call) {
+					pass.Reportf(ret.Pos(), "%s returns the error from %s bare; wrap it with local context (fmt.Errorf(%q, err))",
+						fd.Name.Name, foreign, pass.Pkg.Name()+": <op>: %w")
+				}
+				continue
+			}
+			id, ok := res.(*ast.Ident)
+			if !ok || !isErrorIdent(pass, id) {
+				continue
+			}
+			obj := objOf(pass, id)
+			if obj == nil {
+				continue
+			}
+			latest := ""
+			latestPos := -1
+			for _, a := range assigns[obj] {
+				if a.pos <= int(ret.Pos()) && a.pos > latestPos {
+					latestPos, latest = a.pos, a.foreign
+				}
+			}
+			if latest != "" {
+				pass.Reportf(ret.Pos(), "%s returns the error from %s bare; wrap it with local context (fmt.Errorf(%q, err))",
+					fd.Name.Name, latest, pass.Pkg.Name()+": <op>: %w")
+			}
+		}
+		return true
+	})
+}
+
+// foreignCallee returns a printable name when call targets a function or
+// method defined in a different, non-wrapper package; "" otherwise.
+func foreignCallee(pass *Pass, call *ast.CallExpr) string {
+	var obj types.Object
+	var label string
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = pass.Info.Uses[fn.Sel]
+		label = exprString(fn.X) + "." + fn.Sel.Name
+	case *ast.Ident:
+		obj = pass.Info.Uses[fn]
+		label = fn.Name
+	default:
+		return ""
+	}
+	f, ok := obj.(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg() == pass.Pkg {
+		return ""
+	}
+	if names := errWrappers[f.Pkg().Path()]; names != nil && names[f.Name()] {
+		return ""
+	}
+	return label
+}
+
+// exprString renders simple receiver expressions for messages.
+func exprString(x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "()"
+	default:
+		return "expr"
+	}
+}
+
+// returnsError reports whether the call's (possibly multi-value) result
+// includes an error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if tup.At(i).Type().String() == "error" {
+				return true
+			}
+		}
+		return false
+	}
+	return tv.Type.String() == "error"
+}
+
+// isErrorIdent resolves id through Defs/Uses (plain Info.Types misses the
+// left side of := definitions) and reports whether it names an error.
+func isErrorIdent(pass *Pass, id *ast.Ident) bool {
+	obj := objOf(pass, id)
+	return obj != nil && obj.Type() != nil && obj.Type().String() == "error"
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import "testing"
+
+// TestChecksCorpus runs every analyzer against its testdata corpus. The
+// fake import paths route the path-filtered checks (timenow, apierr) onto
+// and off of their target packages.
+func TestChecksCorpus(t *testing.T) {
+	cases := []struct {
+		dir     string
+		pkgPath string
+		a       *Analyzer
+	}{
+		{"testdata/floatorder", "corpus/floatorder", AnalyzerFloatOrder},
+		{"testdata/closecheck", "corpus/closecheck", AnalyzerCloseCheck},
+		{"testdata/maporder", "corpus/maporder", AnalyzerMapOrder},
+		{"testdata/waitgroup", "corpus/waitgroup", AnalyzerWaitGroup},
+		{"testdata/timenow/simulator", "corpus/timenow/simulator", AnalyzerTimeNow},
+		{"testdata/timenow/other", "corpus/timenow/other", AnalyzerTimeNow},
+		{"testdata/apierr/core", "corpus/apierr/core", AnalyzerAPIErr},
+		{"testdata/apierr/other", "corpus/apierr/other", AnalyzerAPIErr},
+		{"testdata/suppress", "corpus/suppress", AnalyzerFloatOrder},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.pkgPath, func(t *testing.T) {
+			t.Parallel()
+			RunTest(t, tc.dir, tc.pkgPath, tc.a)
+		})
+	}
+}
+
+// TestChecksRegistry pins the published check set: IDs are unique, sorted,
+// documented, and at least the six tentpole checks exist.
+func TestChecksRegistry(t *testing.T) {
+	checks := Checks()
+	if len(checks) < 6 {
+		t.Fatalf("got %d checks, want >= 6", len(checks))
+	}
+	seen := map[string]bool{}
+	for i, a := range checks {
+		if a.ID == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("check %d is missing ID/Doc/Run", i)
+		}
+		if seen[a.ID] {
+			t.Errorf("duplicate check ID %q", a.ID)
+		}
+		seen[a.ID] = true
+		if i > 0 && checks[i-1].ID >= a.ID {
+			t.Errorf("checks not sorted: %q before %q", checks[i-1].ID, a.ID)
+		}
+	}
+	for _, id := range []string{"apierr", "closecheck", "floatorder", "maporder", "timenow", "waitgroup"} {
+		if !seen[id] {
+			t.Errorf("missing required check %q", id)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerCloseCheck guards write-path resource hygiene. For resources
+// created by os.Create / os.OpenFile / net.Dial* / net.Listen, a buffered
+// write only reaches the kernel at Close, so `defer f.Close()` silently
+// drops e.g. a full-disk error. The sanctioned pattern (PR 1) reports the
+// close error exactly once:
+//
+//	defer func() {
+//		if cerr := f.Close(); cerr != nil && err == nil {
+//			err = fmt.Errorf("...: %w", cerr)
+//		}
+//	}()
+//
+// It also flags the double-close shape fixed in PR 1: a function that both
+// defers f.Close() and calls f.Close() explicitly.
+var AnalyzerCloseCheck = &Analyzer{
+	ID:       "closecheck",
+	Doc:      "write-path Close errors must be propagated exactly once; no defer+explicit double close",
+	Severity: SevError,
+	Run:      runCloseCheck,
+}
+
+// writableCreators maps package path -> function names that return
+// resources whose Close can report buffered-write failures.
+var writableCreators = map[string]map[string]bool{
+	"os":  {"Create": true, "OpenFile": true},
+	"net": {"Dial": true, "DialTimeout": true, "DialTCP": true, "DialUDP": true, "DialUnix": true, "Listen": true, "ListenTCP": true},
+}
+
+func runCloseCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCloses(pass, fd.Body)
+		}
+	}
+}
+
+// checkCloses analyzes one function body.
+func checkCloses(pass *Pass, body *ast.BlockStmt) {
+	// Pass 1: objects assigned from a writable-resource creator.
+	writable := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || !isWritableCreator(pass, call) {
+			return true
+		}
+		if id, ok := assign.Lhs[0].(*ast.Ident); ok {
+			if obj := objOf(pass, id); obj != nil {
+				writable[obj] = true
+			}
+		}
+		return true
+	})
+	if len(writable) == 0 {
+		return
+	}
+	// Pass 2: Close call sites per object, split deferred vs direct.
+	type closes struct {
+		deferred []ast.Node
+		direct   []ast.Node
+	}
+	perObj := map[types.Object]*closes{}
+	record := func(obj types.Object) *closes {
+		c := perObj[obj]
+		if c == nil {
+			c = &closes{}
+			perObj[obj] = c
+		}
+		return c
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if obj := closedObj(pass, n.Call); obj != nil && writable[obj] {
+				c := record(obj)
+				c.deferred = append(c.deferred, n)
+				pass.Reportf(n.Pos(), "defer %s discards the Close error on a write path; propagate it exactly once via a named-return defer", closeTarget(n.Call))
+			}
+			return true
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if obj := closedObj(pass, call); obj != nil && writable[obj] {
+					c := record(obj)
+					c.direct = append(c.direct, n)
+					pass.Reportf(n.Pos(), "%s discards the Close error on a write path; check it", closeTarget(call))
+				}
+			}
+		}
+		return true
+	})
+	for _, c := range perObj {
+		if len(c.deferred) > 0 && len(c.direct) > 0 {
+			pass.Reportf(c.direct[0].Pos(), "resource is closed here and again by the deferred Close: double close")
+		}
+	}
+}
+
+// closedObj returns the receiver object when call is `x.Close()` on a plain
+// identifier, else nil.
+func closedObj(pass *Pass, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" || len(call.Args) != 0 {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return objOf(pass, id)
+}
+
+func closeTarget(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			return id.Name + ".Close()"
+		}
+	}
+	return "Close()"
+}
+
+// isWritableCreator reports whether call is pkg.Fn for a known
+// writable-resource creator.
+func isWritableCreator(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	names := writableCreators[fn.Pkg().Path()]
+	return names != nil && names[fn.Name()]
+}
+
+// objOf resolves an identifier to its object via uses then defs.
+func objOf(pass *Pass, id *ast.Ident) types.Object {
+	if obj := pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[id]
+}

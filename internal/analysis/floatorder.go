@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerFloatOrder enforces the bit-determinism invariant from DESIGN.md
+// §6: floating-point reductions must run in a fixed order. Two orderings
+// break that silently:
+//
+//   - accumulating over a map range (iteration order is randomized), and
+//   - accumulating into a shared variable from inside a goroutine (the
+//     interleaving picks the order). Per-slot writes (slots[i] = ...,
+//     reduced in index order afterwards) are the sanctioned pattern and
+//     are not flagged.
+var AnalyzerFloatOrder = &Analyzer{
+	ID:       "floatorder",
+	Doc:      "float accumulation in map-iteration or goroutine-interleaving order breaks bit-determinism",
+	Severity: SevError,
+	Run:      runFloatOrder,
+}
+
+// isAccumName reports whether a callee name suggests in-place float
+// accumulation (the repo's tensor.AxpyInPlace, Sum-style reducers). A name
+// match alone is not enough: the call must also take a float or float-slice
+// argument, so e.g. Checksum(string) never matches.
+func isAccumName(name string) bool {
+	l := strings.ToLower(name)
+	if strings.Contains(l, "axpy") || strings.Contains(l, "accumulate") {
+		return true
+	}
+	// "Sum" as a camel-case word: Sum, VecSum, SumInPlace — but not Summary.
+	for i := 0; i+3 <= len(name); i++ {
+		w := name[i : i+3]
+		if w != "Sum" && !(i == 0 && w == "sum") {
+			continue
+		}
+		if j := i + 3; j == len(name) || name[j] < 'a' || name[j] > 'z' {
+			return true
+		}
+	}
+	return false
+}
+
+// hasFloatArg reports whether any argument is a float or a float slice.
+func hasFloatArg(pass *Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		tv, ok := pass.Info.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		t := tv.Type.Underlying()
+		if sl, ok := t.(*types.Slice); ok {
+			t = sl.Elem().Underlying()
+		}
+		if b, ok := t.(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func runFloatOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if isMapType(pass, n.X) {
+					checkFloatAccumIn(pass, n.Body, "map iteration order")
+				}
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkGoroutineAccum(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isMapType(pass *Pass, x ast.Expr) bool {
+	tv, ok := pass.Info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func isFloat(pass *Pass, x ast.Expr) bool {
+	tv, ok := pass.Info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// checkFloatAccumIn flags float compound assignments and accumulation
+// helper calls anywhere inside body. Nested fixed-order loops inside the
+// body don't rescue the outer unordered iteration, so the walk is total.
+func checkFloatAccumIn(pass *Pass, body *ast.BlockStmt, why string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN || n.Tok == token.MUL_ASSIGN {
+				for _, lhs := range n.Lhs {
+					if isFloat(pass, lhs) {
+						pass.Reportf(n.Pos(), "float accumulation in %s is not bit-deterministic; iterate sorted keys or reduce per-slot in fixed order", why)
+						return true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if name := calleeName(n); isAccumName(name) && hasFloatArg(pass, n) {
+				pass.Reportf(n.Pos(), "call to accumulator %s in %s is not bit-deterministic; iterate sorted keys or reduce per-slot in fixed order", name, why)
+			}
+		}
+		return true
+	})
+}
+
+// calleeName returns the bare name of the called function or method.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// checkGoroutineAccum flags float compound assignment inside a go-launched
+// func literal whose target is a plain variable captured from the enclosing
+// scope. Index-expression targets (per-slot accumulation) are allowed.
+func checkGoroutineAccum(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return true // nested literals still run inside the goroutine
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || (assign.Tok != token.ADD_ASSIGN && assign.Tok != token.SUB_ASSIGN && assign.Tok != token.MUL_ASSIGN) {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || !isFloat(pass, id) {
+				continue
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				obj = pass.Info.Defs[id]
+			}
+			if obj == nil {
+				continue
+			}
+			// Captured: declared outside the literal's body.
+			if obj.Pos() < lit.Body.Pos() || obj.Pos() > lit.Body.End() {
+				pass.Reportf(assign.Pos(), "goroutine accumulates into shared float %s; interleaving order changes the result — write a per-goroutine slot and reduce in fixed order", id.Name)
+			}
+		}
+		return true
+	})
+}

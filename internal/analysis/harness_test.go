@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRE extracts the quoted expectation patterns from a `// want "…"`
+// comment. Multiple patterns may follow one want marker.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` pattern anchored to a line.
+type expectation struct {
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// RunTest loads the single package in dir under the fake import path
+// pkgPath, runs the analyzer (honoring its Match filter and suppression
+// directives, exactly like ddlvet), and compares the diagnostics against
+// the `// want "regex"` comments in the corpus. Each want pattern must be
+// matched by a diagnostic on its line and every diagnostic must match a
+// want pattern, so the corpus encodes positive and negative cases at once.
+func RunTest(t *testing.T, dir, pkgPath string, a *Analyzer) {
+	t.Helper()
+	loader := NewLoader()
+	pkg, err := loader.LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				for _, m := range wantRE.FindAllStringSubmatch(text[idx+len("// want "):], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", dir, line, m[1], err)
+					}
+					wants = append(wants, &expectation{line: line, pattern: re})
+				}
+			}
+		}
+	}
+	diags := RunChecks(pkg, []*Analyzer{a})
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.line == d.Position.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic on line %d matching %q", dir, w.line, w.pattern)
+		}
+	}
+}

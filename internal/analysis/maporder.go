@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerMapOrder keeps map iteration out of serialized output. Go
+// randomizes map iteration order per run, so any bytes derived from a raw
+// map range — CSV rows, JSON encodes, HTTP responses, fingerprint hashes —
+// differ between identical runs. Three shapes are flagged:
+//
+//  1. a serialization sink called directly inside a map range;
+//  2. map keys/values appended to a slice that reaches a sink in the same
+//     function without an intervening sort of that slice;
+//  3. the range key/value assigned to a variable declared outside the loop
+//     (order-dependent selection, e.g. ties in an argmax resolve
+//     differently run to run).
+var AnalyzerMapOrder = &Analyzer{
+	ID:       "maporder",
+	Doc:      "map iteration feeding serialized output or order-dependent selection needs an intermediate sort",
+	Severity: SevError,
+	Run:      runMapOrder,
+}
+
+// sinkNameFragments identify calls that serialize or emit bytes.
+var sinkNameFragments = []string{
+	"print", "fprint", "write", "encode", "marshal", "json", "csv", "fingerprint", "hash",
+}
+
+func isSinkName(name string) bool {
+	l := strings.ToLower(name)
+	for _, frag := range sinkNameFragments {
+		if strings.Contains(l, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortCall matches sort.* / slices.Sort* and local helpers named *sort*.
+// The package qualifier participates so sort.Strings / sort.Slice count.
+func isSortCall(call *ast.CallExpr) bool {
+	name := calleeName(call)
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if x, ok := sel.X.(*ast.Ident); ok {
+			name = x.Name + "." + name
+		}
+	}
+	return strings.Contains(strings.ToLower(name), "sort")
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapOrder(pass, fd.Body)
+		}
+	}
+}
+
+func checkMapOrder(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(pass, rng.X) {
+			return true
+		}
+		checkMapRange(pass, body, rng)
+		return true
+	})
+}
+
+func checkMapRange(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	// Objects bound by the range clause (key, value).
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := objOf(pass, id); obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	appendTargets := map[types.Object]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Shape 1: sink called directly inside the range body.
+			if isSinkName(calleeName(n)) {
+				pass.Reportf(n.Pos(), "%s called while ranging over a map; iteration order is randomized — sort keys first", calleeName(n))
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rng, n, loopVars, appendTargets)
+		}
+		return true
+	})
+	// Shape 2 epilogue: appended slices must be sorted before any sink use
+	// later in the function.
+	for obj := range appendTargets {
+		checkAppendedSlice(pass, fnBody, rng, obj)
+	}
+}
+
+// checkMapRangeAssign handles shapes 2 and 3 for one assignment inside the
+// range body.
+func checkMapRangeAssign(pass *Pass, rng *ast.RangeStmt, assign *ast.AssignStmt, loopVars, appendTargets map[types.Object]bool) {
+	if assign.Tok != token.ASSIGN {
+		// := declares loop-local variables; compound float accumulation
+		// (+= etc.) is floatorder's territory.
+		return
+	}
+	declaredOutside := func(obj types.Object) bool {
+		return obj != nil && (obj.Pos() < rng.Pos() || obj.Pos() > rng.End())
+	}
+	for i, lhs := range assign.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := objOf(pass, id)
+		if !declaredOutside(obj) {
+			continue
+		}
+		if i >= len(assign.Rhs) {
+			continue // x, y = f() multi-value: leave alone
+		}
+		rhs := assign.Rhs[i]
+		// Shape 2: s = append(s, key/value/...)
+		if call, ok := rhs.(*ast.CallExpr); ok && calleeName(call) == "append" {
+			appendTargets[obj] = true
+			continue
+		}
+		// Shape 3: outer variable receives the loop key/value directly.
+		if usesAny(pass, rhs, loopVars) {
+			pass.Reportf(assign.Pos(), "map iteration order selects the value of %s (e.g. tie-breaking); iterate sorted keys for a deterministic result", id.Name)
+		}
+	}
+}
+
+// usesAny reports whether expr mentions any of the given objects.
+func usesAny(pass *Pass, expr ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkAppendedSlice flags obj when it flows into a sink call after the
+// range without first passing through a sort. Flow is tracked one hop
+// through assignments (e.g. resp := Response{Items: obj}) so wrapping the
+// slice in a struct before encoding does not hide the order dependence.
+func checkAppendedSlice(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) {
+	tainted := map[types.Object]bool{obj: true}
+	sorted := false
+	var sinkPos ast.Node
+	var sinkName string
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if n == nil || n.Pos() < rng.End() {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if !usesAny(pass, rhs, tainted) {
+					continue
+				}
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						if o := objOf(pass, id); o != nil {
+							tainted[o] = true
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			mentions := false
+			for _, arg := range n.Args {
+				if usesAny(pass, arg, tainted) {
+					mentions = true
+					break
+				}
+			}
+			if !mentions {
+				return true
+			}
+			if isSortCall(n) {
+				sorted = true
+				return true
+			}
+			if !sorted && sinkPos == nil && isSinkName(calleeName(n)) {
+				sinkPos, sinkName = n, calleeName(n)
+			}
+		}
+		return true
+	})
+	if sinkPos != nil {
+		pass.Reportf(sinkPos.Pos(), "slice %s was filled from a map range and reaches %s unsorted; sort it after the loop", obj.Name(), sinkName)
+	}
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive comment.
+const ignorePrefix = "//ddlvet:ignore"
+
+// Ignore is one parsed //ddlvet:ignore directive.
+type Ignore struct {
+	Check  string // check ID being suppressed
+	Reason string // mandatory human justification
+}
+
+// ParseIgnore parses the text of a single comment. ok reports whether the
+// comment is a ddlvet directive at all; err is non-nil when it is a
+// directive but malformed (unknown shape, missing check ID or reason).
+func ParseIgnore(comment string) (ig Ignore, ok bool, err error) {
+	if !strings.HasPrefix(comment, ignorePrefix) {
+		return Ignore{}, false, nil
+	}
+	rest := comment[len(ignorePrefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. //ddlvet:ignored — not our directive.
+		return Ignore{}, false, nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return Ignore{}, true, fmt.Errorf("ddlvet:ignore needs a check ID and a reason")
+	}
+	if len(fields) == 1 {
+		return Ignore{}, true, fmt.Errorf("ddlvet:ignore %s needs a reason", fields[0])
+	}
+	return Ignore{Check: fields[0], Reason: strings.Join(fields[1:], " ")}, true, nil
+}
+
+// suppressions indexes a file's directives by line number.
+type suppressions map[int][]Ignore
+
+// collectSuppressions scans one file's comments. Malformed directives are
+// reported as diagnostics under the pseudo-check "ignore" (error severity)
+// so a typo never silently re-enables a finding.
+func collectSuppressions(pkg *Package, f *ast.File, report func(Diagnostic)) suppressions {
+	sup := suppressions{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			ig, ok, err := ParseIgnore(c.Text)
+			if !ok {
+				continue
+			}
+			line := pkg.Fset.Position(c.Pos()).Line
+			if err != nil {
+				report(Diagnostic{
+					Check:    "ignore",
+					Severity: SevError,
+					Position: pkg.Fset.Position(c.Pos()),
+					Message:  err.Error(),
+				})
+				continue
+			}
+			sup[line] = append(sup[line], ig)
+		}
+	}
+	return sup
+}
+
+// filterSuppressed drops diagnostics covered by a //ddlvet:ignore directive
+// on the same line or the line directly above, and appends diagnostics for
+// malformed directives.
+func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	byFile := make(map[string]suppressions)
+	var out []Diagnostic
+	report := func(d Diagnostic) { out = append(out, d) }
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		byFile[name] = collectSuppressions(pkg, f, report)
+	}
+	for _, d := range diags {
+		sup := byFile[d.Position.Filename]
+		if sup.covers(d.Check, d.Position.Line) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func (s suppressions) covers(check string, line int) bool {
+	for _, l := range []int{line, line - 1} {
+		for _, ig := range s[l] {
+			if ig.Check == check {
+				return true
+			}
+		}
+	}
+	return false
+}

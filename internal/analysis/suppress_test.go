@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseIgnore is the table test for the //ddlvet:ignore parser.
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		name    string
+		comment string
+		ok      bool // recognized as a ddlvet directive
+		wantErr string
+		check   string
+		reason  string
+	}{
+		{name: "well formed", comment: "//ddlvet:ignore floatorder mean is cosmetic here", ok: true, check: "floatorder", reason: "mean is cosmetic here"},
+		{name: "tab separated", comment: "//ddlvet:ignore\tmaporder\tlegacy output order", ok: true, check: "maporder", reason: "legacy output order"},
+		{name: "multi word reason", comment: "//ddlvet:ignore apierr the caller wraps with request context", ok: true, check: "apierr", reason: "the caller wraps with request context"},
+		{name: "missing reason", comment: "//ddlvet:ignore closecheck", ok: true, wantErr: "needs a reason"},
+		{name: "missing everything", comment: "//ddlvet:ignore", ok: true, wantErr: "needs a check ID and a reason"},
+		{name: "missing everything trailing space", comment: "//ddlvet:ignore   ", ok: true, wantErr: "needs a check ID and a reason"},
+		{name: "not a directive", comment: "// plain comment", ok: false},
+		{name: "prefix collision", comment: "//ddlvet:ignored floatorder reason", ok: false},
+		{name: "other tool directive", comment: "//nolint:errcheck", ok: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ig, ok, err := ParseIgnore(tc.comment)
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v", ok, tc.ok)
+			}
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected err: %v", err)
+			}
+			if !tc.ok {
+				return
+			}
+			if ig.Check != tc.check || ig.Reason != tc.reason {
+				t.Fatalf("got (%q, %q), want (%q, %q)", ig.Check, ig.Reason, tc.check, tc.reason)
+			}
+		})
+	}
+}
+
+// TestMalformedIgnoreReported loads a package whose only directive is
+// missing its reason: the finding survives and the directive itself is
+// reported under the "ignore" pseudo-check.
+func TestMalformedIgnoreReported(t *testing.T) {
+	dir := t.TempDir()
+	src := `package broken
+
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v //ddlvet:ignore floatorder
+	}
+	return s
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := NewLoader().LoadDir(dir, "corpus/broken")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunChecks(pkg, []*Analyzer{AnalyzerFloatOrder})
+	var gotIgnore, gotFloat bool
+	for _, d := range diags {
+		switch d.Check {
+		case "ignore":
+			gotIgnore = true
+			if !strings.Contains(d.Message, "needs a reason") {
+				t.Errorf("ignore diagnostic message = %q", d.Message)
+			}
+		case "floatorder":
+			gotFloat = true
+		}
+	}
+	if !gotIgnore || !gotFloat {
+		t.Fatalf("want both ignore and floatorder diagnostics, got %v", diags)
+	}
+}

@@ -1,0 +1,74 @@
+// Package core is the ddlvet corpus for the apierr check inside an API
+// package (the directory name selects the path filter).
+package core
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// LoadThreshold returns a cross-package error bare: positive.
+func LoadThreshold(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err // want "LoadThreshold returns the error from strconv.ParseFloat bare"
+	}
+	return v, nil
+}
+
+// LoadThresholdWrapped adds local context: negative.
+func LoadThresholdWrapped(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("core: parse threshold: %w", err)
+	}
+	return v, nil
+}
+
+// helperErr is unexported local work; its errors are this package's own.
+func helperErr(path string) error {
+	_, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// CheckPath propagates a same-package error bare: negative (helperErr is
+// local, the context boundary is the package).
+func CheckPath(path string) error {
+	err := helperErr(path)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// Remove returns a foreign call's error directly: positive.
+func Remove(path string) error {
+	return os.Remove(path) // want "Remove returns the error from os.Remove bare"
+}
+
+// RemoveWrapped wraps the direct return: negative.
+func RemoveWrapped(path string) error {
+	if err := os.Remove(path); err != nil {
+		return fmt.Errorf("core: remove: %w", err)
+	}
+	return nil
+}
+
+// Describe returns a non-error foreign result directly: negative.
+func Describe(n int) string {
+	return strconv.Itoa(n)
+}
+
+// rewrap is unexported: negative (only the exported API surface is held to
+// the wrapping rule).
+func rewrap(s string) error {
+	_, err := strconv.Atoi(s)
+	if err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+// Package other is the ddlvet corpus for the apierr check outside the API
+// packages: bare cross-package errors draw no diagnostics here because the
+// path filter does not match.
+package other
+
+import "strconv"
+
+// LoadThreshold may return a bare error here: negative.
+func LoadThreshold(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}

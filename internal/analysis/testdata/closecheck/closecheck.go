@@ -1,0 +1,81 @@
+// Package closecheck is the ddlvet corpus for the closecheck check.
+package closecheck
+
+import (
+	"fmt"
+	"net"
+	"os"
+)
+
+// SaveBad defers Close on a write path, discarding the error: positive.
+func SaveBad(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "defer f.Close\(\) discards the Close error on a write path"
+	_, err = f.Write(data)
+	return err
+}
+
+// SaveGood propagates the close error exactly once: negative.
+func SaveGood(path string, data []byte) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("save: %w", cerr)
+		}
+	}()
+	_, err = f.Write(data)
+	return err
+}
+
+// ReadGood defers Close on a read path: negative (os.Open is not a
+// writable-resource creator; read-side close errors carry no data loss).
+func ReadGood(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return buf, err
+}
+
+// DoubleClose closes explicitly and again via defer: positive for both the
+// discarded error and the double close.
+func DoubleClose(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "defer f.Close\(\) discards the Close error"
+	if _, err := f.Write(data); err != nil {
+		f.Close() // want "f.Close\(\) discards the Close error" "double close"
+		return err
+	}
+	return nil
+}
+
+// DialDiscard drops a dialed connection's close error: positive.
+func DialDiscard(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	conn.Close() // want "conn.Close\(\) discards the Close error"
+	return nil
+}
+
+// DialChecked returns the close error: negative.
+func DialChecked(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return conn.Close()
+}

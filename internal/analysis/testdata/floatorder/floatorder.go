@@ -1,0 +1,90 @@
+// Package floatorder is the ddlvet corpus for the floatorder check.
+package floatorder
+
+import "sync"
+
+// AxpyInPlace mimics the repo's in-place accumulator helper.
+func AxpyInPlace(dst, src []float64, scale float64) {
+	for i := range src {
+		dst[i] += src[i] * scale
+	}
+}
+
+// MeanFromMap accumulates in map-iteration order: positive cases.
+func MeanFromMap(m map[string]float64, vecs map[string][]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulation in map iteration order"
+	}
+	mean := make([]float64, 4)
+	for _, vec := range vecs {
+		AxpyInPlace(mean, vec, 0.5) // want "call to accumulator AxpyInPlace in map iteration order"
+	}
+	return sum / float64(len(m))
+}
+
+// MeanSorted accumulates over sorted keys: negative case.
+func MeanSorted(m map[string]float64, keys []string) float64 {
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// CountFromMap accumulates a non-float in map order: negative case (integer
+// addition is associative, order cannot change the result).
+func CountFromMap(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// SharedAccumulator writes a captured float from goroutines: positive case.
+func SharedAccumulator(xs []float64) float64 {
+	var total float64
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		x := x
+		go func() {
+			defer wg.Done()
+			total += x // want "goroutine accumulates into shared float total"
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// PerSlot reduces per-goroutine slots in fixed order: negative case.
+func PerSlot(xs []float64) float64 {
+	slots := make([]float64, len(xs))
+	var wg sync.WaitGroup
+	for i, x := range xs {
+		wg.Add(1)
+		i, x := i, x
+		go func() {
+			defer wg.Done()
+			slots[i] += x * x
+		}()
+	}
+	wg.Wait()
+	var total float64
+	for _, s := range slots {
+		total += s
+	}
+	return total
+}
+
+// LocalInGoroutine accumulates a goroutine-local float: negative case.
+func LocalInGoroutine(xs []float64, out chan<- float64) {
+	go func() {
+		var local float64
+		for _, x := range xs {
+			local += x
+		}
+		out <- local
+	}()
+}

@@ -1,0 +1,74 @@
+// Package maporder is the ddlvet corpus for the maporder check.
+package maporder
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DumpDirect serializes inside a map range: positive.
+func DumpDirect(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "Fprintf called while ranging over a map"
+	}
+}
+
+// DumpSorted iterates sorted keys: negative.
+func DumpSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+type response struct {
+	Names []string `json:"names"`
+}
+
+// EncodeUnsorted collects map keys and encodes them without sorting, with
+// the slice wrapped in a struct first: positive.
+func EncodeUnsorted(w io.Writer, m map[string]int) error {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	resp := response{Names: names}
+	return json.NewEncoder(w).Encode(resp) // want "slice names was filled from a map range and reaches Encode unsorted"
+}
+
+// EncodeSorted sorts before encoding: negative.
+func EncodeSorted(w io.Writer, m map[string]int) error {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return json.NewEncoder(w).Encode(response{Names: names})
+}
+
+// ArgmaxTie lets map order break ties: positive.
+func ArgmaxTie(scores map[string]float64) string {
+	best, bestScore := "", -1.0
+	for name, s := range scores {
+		if s > bestScore {
+			best, bestScore = name, s // want "selects the value of best \(" "selects the value of bestScore"
+		}
+	}
+	return best
+}
+
+// SumValues consumes a map without ordering sensitivity: negative (no
+// serialization, no selection of key-derived values).
+func SumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,32 @@
+// Package suppress is the ddlvet corpus for //ddlvet:ignore handling,
+// exercised through the floatorder check.
+package suppress
+
+// SameLine suppresses on the flagged line: negative.
+func SameLine(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //ddlvet:ignore floatorder corpus exercises same-line suppression
+	}
+	return sum
+}
+
+// LineAbove suppresses from the preceding line: negative.
+func LineAbove(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//ddlvet:ignore floatorder corpus exercises line-above suppression
+		sum += v
+	}
+	return sum
+}
+
+// WrongCheck suppresses a different check ID, so the diagnostic stands:
+// positive.
+func WrongCheck(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //ddlvet:ignore maporder wrong ID does not cover floatorder // want "float accumulation in map iteration order"
+	}
+	return sum
+}

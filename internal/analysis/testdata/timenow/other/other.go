@@ -1,0 +1,19 @@
+// Package other is the ddlvet corpus for the timenow check outside the
+// deterministic packages: the same calls draw no diagnostics because the
+// path filter does not match this package.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp may read the wall clock here: negative.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter may use the global RNG here: negative.
+func Jitter() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,29 @@
+// Package simulator is the ddlvet corpus for the timenow check inside a
+// deterministic package (the directory name selects the path filter).
+package simulator
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock: positive.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in a deterministic package"
+}
+
+// Jitter draws from the process-global RNG: positive.
+func Jitter() float64 {
+	return rand.Float64() // want "global rand.Float64 in a deterministic package"
+}
+
+// SeededJitter draws from an explicitly seeded source: negative.
+func SeededJitter(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Elapsed uses an injected clock: negative.
+func Elapsed(clock func() time.Time, start time.Time) time.Duration {
+	return clock().Sub(start)
+}

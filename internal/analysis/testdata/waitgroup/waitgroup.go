@@ -1,0 +1,63 @@
+// Package waitgroup is the ddlvet corpus for the waitgroup check.
+package waitgroup
+
+import "sync"
+
+// AddInside calls wg.Add from the spawned goroutine: positive.
+func AddInside(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want "wg.Add inside the spawned goroutine races with wg.Wait"
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// AddOutside calls wg.Add before spawning: negative.
+func AddOutside(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+type pool struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	n  int
+}
+
+// WaitUnderDeferredLock waits while a deferred unlock still holds the
+// mutex: positive.
+func (p *pool) WaitUnderDeferredLock() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wg.Wait() // want "wg.Wait while holding a mutex"
+	return p.n
+}
+
+// WaitUnderExplicitLock waits between Lock and Unlock: positive.
+func (p *pool) WaitUnderExplicitLock() {
+	p.mu.Lock()
+	p.wg.Wait() // want "wg.Wait while holding a mutex"
+	p.mu.Unlock()
+}
+
+// WaitAfterUnlock releases the mutex before waiting: negative.
+func (p *pool) WaitAfterUnlock() {
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// WaitWithoutLock never touches the mutex: negative.
+func (p *pool) WaitWithoutLock() {
+	p.wg.Wait()
+}

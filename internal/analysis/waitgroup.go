@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerWaitGroup enforces the two WaitGroup rules from DESIGN.md §6:
+//
+//   - wg.Add must run in the spawning goroutine, before `go`; calling it
+//     inside the spawned goroutine races with wg.Wait and can let Wait
+//     return while work is still starting;
+//   - wg.Wait must not be called while holding a mutex: handlers that need
+//     that mutex deadlock against the waiter.
+var AnalyzerWaitGroup = &Analyzer{
+	ID:       "waitgroup",
+	Doc:      "wg.Add belongs in the spawning goroutine; wg.Wait must not run under a held mutex",
+	Severity: SevError,
+	Run:      runWaitGroup,
+}
+
+func runWaitGroup(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkAddInGoroutine(pass, lit)
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkWaitUnderLock(pass, n.Body)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isSyncMethod reports whether call is recv.method() where recv's type is
+// sync.<typeName>, returning the receiver object.
+func isSyncMethod(pass *Pass, call *ast.CallExpr, typeNames map[string]bool, method string) (types.Object, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil, false
+	}
+	selection := pass.Info.Selections[sel]
+	if selection == nil {
+		return nil, false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return nil, false
+	}
+	if !typeNames[named.Obj().Name()] {
+		return nil, false
+	}
+	// Resolve the receiver object for the common ident / field-selector
+	// receivers (wg.Add, c.wg.Add): key on the rightmost identifier chain.
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		return objOf(pass, x), true
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[x.Sel], true
+	}
+	return nil, true
+}
+
+var wgType = map[string]bool{"WaitGroup": true}
+var mutexTypes = map[string]bool{"Mutex": true, "RWMutex": true}
+
+// checkAddInGoroutine flags wg.Add calls inside a go-launched func literal
+// when wg is captured from outside (a per-goroutine local WaitGroup is
+// fine, if pointless).
+func checkAddInGoroutine(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := isSyncMethod(pass, call, wgType, "Add")
+		if !ok {
+			return true
+		}
+		if obj == nil || obj.Pos() < lit.Body.Pos() || obj.Pos() > lit.Body.End() {
+			pass.Reportf(call.Pos(), "wg.Add inside the spawned goroutine races with wg.Wait; call Add before the go statement")
+		}
+		return true
+	})
+}
+
+// checkWaitUnderLock walks one function body in statement order tracking
+// which mutexes are held, and flags wg.Wait while any is locked. Deferred
+// unlocks keep the mutex held until return, so a Wait after
+// `mu.Lock(); defer mu.Unlock()` is flagged.
+func checkWaitUnderLock(pass *Pass, body *ast.BlockStmt) {
+	held := map[types.Object]bool{}
+	var walk func(ast.Stmt)
+	walkCall := func(call *ast.CallExpr, deferred bool) {
+		if obj, ok := isSyncMethod(pass, call, mutexTypes, "Lock"); ok && obj != nil {
+			held[obj] = true
+		} else if obj, ok := isSyncMethod(pass, call, mutexTypes, "RLock"); ok && obj != nil {
+			held[obj] = true
+		} else if obj, ok := isSyncMethod(pass, call, mutexTypes, "Unlock"); ok && obj != nil && !deferred {
+			delete(held, obj)
+		} else if obj, ok := isSyncMethod(pass, call, mutexTypes, "RUnlock"); ok && obj != nil && !deferred {
+			delete(held, obj)
+		} else if _, ok := isSyncMethod(pass, call, wgType, "Wait"); ok && len(held) > 0 {
+			pass.Reportf(call.Pos(), "wg.Wait while holding a mutex: goroutines that need the lock deadlock against the waiter")
+		}
+	}
+	walk = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				walkCall(call, false)
+			}
+		case *ast.DeferStmt:
+			walkCall(s.Call, true)
+		case *ast.BlockStmt:
+			for _, st := range s.List {
+				walk(st)
+			}
+		case *ast.IfStmt:
+			// Branches share the held-set: an unlock inside a branch
+			// clears it. That is optimistic but keeps false positives low.
+			walk(s.Body)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *ast.ForStmt:
+			walk(s.Body)
+		case *ast.RangeStmt:
+			walk(s.Body)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					for _, st := range cc.Body {
+						walk(st)
+					}
+				}
+			}
+		}
+	}
+	for _, s := range body.List {
+		walk(s)
+	}
+}

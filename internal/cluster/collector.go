@@ -46,9 +46,10 @@ type Collector struct {
 	ttl time.Duration
 	now func() time.Time
 
-	mu      sync.Mutex
-	servers map[string]*ServerInfo
-	conns   map[net.Conn]struct{} // live connections, closed on shutdown
+	mu        sync.Mutex
+	servers   map[string]*ServerInfo
+	conns     map[net.Conn]struct{} // live connections, closed on shutdown
+	acceptErr error                 // last non-shutdown accept failure, surfaced by Close
 
 	sem    chan struct{} // bounds concurrent connection handlers
 	wg     sync.WaitGroup
@@ -107,9 +108,23 @@ func (c *Collector) acceptLoop() {
 			if errors.Is(err, net.ErrClosed) {
 				return
 			}
+			// Record the failure so Close surfaces it instead of the loop
+			// swallowing it silently.
+			c.mu.Lock()
+			c.acceptErr = err
+			c.mu.Unlock()
 			continue
 		}
-		c.sem <- struct{}{}
+		// Acquiring a handler slot must not outlive shutdown: with all
+		// slots busy, a plain send here would block forever and deadlock
+		// Close's wg.Wait (the accepted conn is not yet in c.conns, so
+		// Close cannot unblock us by closing it).
+		select {
+		case c.sem <- struct{}{}:
+		case <-c.closed:
+			_ = conn.Close() // never registered; nothing was written
+			return
+		}
 		c.wg.Add(1)
 		go func() {
 			defer func() {
@@ -221,7 +236,9 @@ func (c *Collector) Cluster() Cluster {
 	return cl
 }
 
-// Close stops accepting connections and waits for in-flight handlers.
+// Close stops accepting connections and waits for in-flight handlers. It
+// reports the listener close failure and any accept-loop error the
+// collector hit while running.
 func (c *Collector) Close() error {
 	select {
 	case <-c.closed:
@@ -230,13 +247,21 @@ func (c *Collector) Close() error {
 		close(c.closed)
 	}
 	err := c.ln.Close()
-	// Unblock handlers stuck reading from live agent connections.
+	if err != nil {
+		err = fmt.Errorf("cluster: collector close: %w", err)
+	}
+	// Unblock handlers stuck reading from live agent connections. The
+	// handler's deferred cleanup owns each conn's close result.
 	c.mu.Lock()
 	for conn := range c.conns {
-		conn.Close()
+		_ = conn.Close()
 	}
+	acceptErr := c.acceptErr
 	c.mu.Unlock()
 	c.wg.Wait()
+	if acceptErr != nil {
+		err = errors.Join(err, fmt.Errorf("cluster: collector accept: %w", acceptErr))
+	}
 	return err
 }
 
@@ -262,23 +287,34 @@ func DialAgent(addr, hostname string, spec ServerSpec) (*Agent, error) {
 	}
 	a := &Agent{conn: conn, enc: json.NewEncoder(conn), hostname: hostname}
 	if err := a.enc.Encode(wireMessage{Type: msgRegister, Hostname: hostname, Spec: spec}); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("cluster: agent register: %w", err)
+		err = fmt.Errorf("cluster: agent register: %w", err)
+		if cerr := conn.Close(); cerr != nil {
+			err = errors.Join(err, fmt.Errorf("cluster: agent close: %w", cerr))
+		}
+		return nil, err
 	}
 	return a, nil
 }
 
 // Report streams one utilization sample to the collector.
 func (a *Agent) Report(cpuUtil, gpuUtil, diskLoad float64, availableCores int) error {
-	return a.enc.Encode(wireMessage{
+	err := a.enc.Encode(wireMessage{
 		Type: msgUpdate, Hostname: a.hostname,
 		CPUUtil: cpuUtil, GPUUtil: gpuUtil, DiskLoad: diskLoad,
 		AvailableCores: availableCores,
 	})
+	if err != nil {
+		return fmt.Errorf("cluster: agent report: %w", err)
+	}
+	return nil
 }
 
-// Close deregisters from the collector and closes the connection.
+// Close deregisters from the collector and closes the connection. The bye
+// message is best-effort: the collector's TTL reaps us either way.
 func (a *Agent) Close() error {
 	_ = a.enc.Encode(wireMessage{Type: msgBye, Hostname: a.hostname})
-	return a.conn.Close()
+	if err := a.conn.Close(); err != nil {
+		return fmt.Errorf("cluster: agent close: %w", err)
+	}
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -290,6 +291,7 @@ func (c *Controller) handleStatus(w http.ResponseWriter, r *http.Request) {
 		datasets = append(datasets, d)
 	}
 	c.mu.RUnlock()
+	sort.Strings(datasets) // stable response bytes across identical runs
 	resp := StatusResponse{Datasets: datasets}
 	if c.registry != nil {
 		resp.GHNDatasets = c.registry.Datasets()

@@ -179,7 +179,7 @@ func (e *InferenceEngine) EmbedAll(graphs []*graph.Graph) ([][]float64, error) {
 // Features builds the regression input: [embedding ‖ cluster features].
 func (e *InferenceEngine) Features(g *graph.Graph, c cluster.Cluster) ([]float64, error) {
 	if err := c.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: features: %w", err)
 	}
 	emb, err := e.Embedding(g)
 	if err != nil {
@@ -198,7 +198,7 @@ func (e *InferenceEngine) Predict(g *graph.Graph, c cluster.Cluster) (float64, e
 	}
 	pred, err := e.model.Predict(feats)
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("core: predict %s: %w", g.Name, err)
 	}
 	if pred < 1e-6 {
 		pred = 1e-6

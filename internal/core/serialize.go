@@ -27,11 +27,11 @@ type engineCheckpoint struct {
 func (e *InferenceEngine) Save(w io.Writer) error {
 	var ghnBuf bytes.Buffer
 	if err := e.ghn.Save(&ghnBuf); err != nil {
-		return err
+		return fmt.Errorf("core: save engine: %w", err)
 	}
 	var modelBuf bytes.Buffer
 	if err := regress.Save(&modelBuf, e.model); err != nil {
-		return err
+		return fmt.Errorf("core: save engine: %w", err)
 	}
 	ck := engineCheckpoint{Dataset: e.dataset, GHNBlob: ghnBuf.Bytes(), ModelBlob: modelBuf.Bytes()}
 	e.mu.Lock()
@@ -57,11 +57,11 @@ func LoadEngine(r io.Reader) (*InferenceEngine, error) {
 	}
 	g, err := ghn.Load(bytes.NewReader(ck.GHNBlob))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: load engine: %w", err)
 	}
 	m, err := regress.Load(bytes.NewReader(ck.ModelBlob))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: load engine: %w", err)
 	}
 	e := NewInferenceEngine(ck.Dataset, g, m)
 	if len(ck.RefNames) > 0 {

@@ -78,10 +78,17 @@ func ConfidenceCalibration(lab *Lab) ([]ConfidenceRow, float64, error) {
 		return nil, 0, err
 	}
 
-	// Reference mean for centered similarity.
+	// Reference mean for centered similarity, accumulated over sorted names
+	// so the float reduction order (and thus the exact bits) is identical
+	// run to run.
+	refNames := make([]string, 0, len(embeddings))
+	for name := range embeddings {
+		refNames = append(refNames, name)
+	}
+	sort.Strings(refNames)
 	mean := make([]float64, g.EmbeddingDim())
-	for _, e := range embeddings {
-		tensor.AxpyInPlace(mean, e, 1/float64(len(embeddings)))
+	for _, name := range refNames {
+		tensor.AxpyInPlace(mean, embeddings[name], 1/float64(len(embeddings)))
 	}
 
 	c := cluster.Homogeneous(8, spec)
@@ -96,9 +103,11 @@ func ConfidenceCalibration(lab *Lab) ([]ConfidenceRow, float64, error) {
 			return nil, 0, err
 		}
 		centered := tensor.SubVec(emb, mean)
+		// Sorted iteration makes the nearest-reference choice deterministic
+		// even when two references tie on similarity.
 		closest, best := "", -2.0
-		for refName, ref := range embeddings {
-			if s := tensor.CosineSimilarity(centered, tensor.SubVec(ref, mean)); s > best {
+		for _, refName := range refNames {
+			if s := tensor.CosineSimilarity(centered, tensor.SubVec(embeddings[refName], mean)); s > best {
 				closest, best = refName, s
 			}
 		}
