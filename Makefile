@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet ddlvet bench verify
+.PHONY: all build test race vet ddlvet bench smoke verify
 
 all: verify
 
@@ -28,4 +28,10 @@ race:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/tensor/ ./internal/ghn/ ./internal/core/
 
-verify: vet build ddlvet test race
+# End-to-end smoke: the live-cluster example trains a predictor, runs
+# collector + agents + HTTP controller in one process, and survives an
+# injected collector restart (~5 s). Fails loudly if the serving path rots.
+smoke:
+	$(GO) run ./examples/livecluster
+
+verify: vet build ddlvet test race smoke

@@ -7,7 +7,10 @@
 //
 //	collector server -addr :9090
 //	collector agent  -addr HOST:9090 -hostname node-1 -spec cloudlab-p100 \
-//	                 [-cpu 0.2] [-gpu 0.1] [-disk 0.0] [-interval 5s]
+//	                 [-cpu 0.2] [-gpu 0.1] [-disk 0.0] [-interval 5s] [-reconnect]
+//
+// Agents default to reconnecting mode: a collector restart or network blip
+// is healed by redialing with seeded exponential backoff.
 package main
 
 import (
@@ -46,18 +49,23 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  collector server -addr :9090 [-ttl 30s]
-  collector agent  -addr HOST:9090 -hostname NAME -spec SPEC [-cpu F] [-gpu F] [-disk F] [-interval 5s]`)
+  collector server -addr :9090 [-ttl 30s] [-max-handlers 64] [-max-msg-bytes 65536]
+  collector agent  -addr HOST:9090 -hostname NAME -spec SPEC [-cpu F] [-gpu F] [-disk F]
+                   [-interval 5s] [-reconnect] [-backoff 50ms] [-max-backoff 2s] [-seed 1]`)
 }
 
 func runServer(args []string) error {
 	fs := flag.NewFlagSet("server", flag.ExitOnError)
 	addr := fs.String("addr", ":9090", "TCP listen address")
-	ttl := fs.Duration("ttl", 30*time.Second, "registration time-to-live")
+	ttl := fs.Duration("ttl", 30*time.Second, "registration time-to-live (also the silent-connection read deadline)")
+	maxHandlers := fs.Int("max-handlers", 64, "max concurrent connection handlers")
+	maxMsg := fs.Int("max-msg-bytes", 64<<10, "max bytes per protocol message")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	col, err := cluster.NewCollector(*addr, cluster.CollectorOptions{TTL: *ttl})
+	col, err := cluster.NewCollector(*addr, cluster.CollectorOptions{
+		TTL: *ttl, MaxHandlers: *maxHandlers, MaxMessageBytes: *maxMsg,
+	})
 	if err != nil {
 		return err
 	}
@@ -92,6 +100,10 @@ func runAgent(args []string) error {
 	gpu := fs.Float64("gpu", 0, "reported GPU utilization in [0,1]")
 	disk := fs.Float64("disk", 0, "reported disk load in [0,1]")
 	interval := fs.Duration("interval", 5*time.Second, "report interval")
+	reconnect := fs.Bool("reconnect", true, "self-heal through collector outages (redial with backoff)")
+	backoff := fs.Duration("backoff", 50*time.Millisecond, "base reconnect backoff")
+	maxBackoff := fs.Duration("max-backoff", 2*time.Second, "reconnect backoff ceiling")
+	seed := fs.Int64("seed", 1, "backoff jitter seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,7 +118,12 @@ func runAgent(args []string) error {
 	if err != nil {
 		return err
 	}
-	agent, err := cluster.DialAgent(*addr, *hostname, spec)
+	agent, err := cluster.DialAgentOptions(*addr, *hostname, spec, cluster.AgentOptions{
+		Reconnect:   *reconnect,
+		BaseBackoff: *backoff,
+		MaxBackoff:  *maxBackoff,
+		Seed:        *seed,
+	})
 	if err != nil {
 		return err
 	}

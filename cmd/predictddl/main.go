@@ -15,14 +15,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"predictddl"
 	"predictddl/internal/cluster"
+	"predictddl/internal/core"
 	"predictddl/internal/dataset"
 )
 
@@ -69,6 +73,8 @@ func usage() {
   predictddl train   -dataset NAME -o FILE [-full]
   predictddl predict -dataset NAME -model NAME -servers N [-spec NAME] [-load FILE] [-quick]
   predictddl serve   -addr :8080 [-datasets cifar10,tiny-imagenet] [-collector ADDR] [-quick]
+                     [-read-timeout 30s] [-write-timeout 2m] [-idle-timeout 2m]
+                     [-shutdown-timeout 30s] [-max-body N] [-max-batch N] [-collector-ttl 30s]
   predictddl models | datasets | specs`)
 }
 
@@ -177,6 +183,13 @@ func runServe(args []string) error {
 	datasets := fs.String("datasets", "cifar10", "comma-separated dataset types to train")
 	collectorAddr := fs.String("collector", "", "also run a resource collector on this TCP address")
 	quick := fs.Bool("quick", true, "downsized offline training")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max time to read one request")
+	writeTimeout := fs.Duration("write-timeout", 2*time.Minute, "max time to handle and write one response")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "graceful drain window on SIGINT/SIGTERM")
+	maxBody := fs.Int64("max-body", core.DefaultMaxBodyBytes, "max POST body bytes")
+	maxBatch := fs.Int("max-batch", core.DefaultMaxBatchItems, "max requests per /v1/predict/batch call")
+	collectorTTL := fs.Duration("collector-ttl", 30*time.Second, "collector registration time-to-live")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -196,15 +209,30 @@ func runServe(args []string) error {
 		return fmt.Errorf("no datasets specified")
 	}
 	ctrl := predictddl.NewController(preds...)
+	ctrl.SetLimits(*maxBody, *maxBatch)
 	if *collectorAddr != "" {
-		col, err := cluster.NewCollector(*collectorAddr, cluster.CollectorOptions{})
+		col, err := cluster.NewCollector(*collectorAddr, cluster.CollectorOptions{TTL: *collectorTTL})
 		if err != nil {
 			return err
 		}
 		defer col.Close()
-		ctrl.Collector = col
+		ctrl.SetCollector(col)
 		fmt.Fprintf(os.Stderr, "resource collector listening on %s\n", col.Addr())
 	}
-	fmt.Fprintf(os.Stderr, "controller listening on %s\n", *addr)
-	return http.ListenAndServe(*addr, ctrl.Handler())
+	srv, err := core.NewServer(*addr, ctrl.Handler(), core.ServerOptions{
+		ReadTimeout:     *readTimeout,
+		WriteTimeout:    *writeTimeout,
+		IdleTimeout:     *idleTimeout,
+		ShutdownTimeout: *shutdownTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	// SIGINT/SIGTERM trigger a graceful drain: the listener closes first,
+	// in-flight predictions finish (bounded by -shutdown-timeout), then
+	// Serve returns.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "controller listening on %s\n", srv.Addr())
+	return srv.Serve(ctx)
 }

@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// AgentOptions tunes the client side of the resource collector.
+// The zero value reproduces the historical behavior: one dial attempt, no
+// self-healing.
+type AgentOptions struct {
+	// DialTimeout bounds each connection attempt. Defaults to 5 s.
+	DialTimeout time.Duration
+	// Reconnect enables the self-healing mode: when the collector
+	// connection dies, Report transparently redials, re-registers, and
+	// retries the sample with exponential backoff before giving up, so
+	// transient collector outages (restarts, network blips) heal without
+	// agent restarts.
+	Reconnect bool
+	// MaxAttempts bounds connection attempts per operation in Reconnect
+	// mode. Defaults to 8.
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff shape the exponential backoff between
+	// attempts: attempt k waits jitter(min(BaseBackoff·2^k, MaxBackoff)).
+	// Defaults: 50 ms and 2 s.
+	BaseBackoff, MaxBackoff time.Duration
+	// Seed feeds the jitter RNG; agents with equal seeds replay identical
+	// backoff schedules (the project's seeded-entropy discipline — no
+	// process-global randomness). Defaults to 1.
+	Seed int64
+	// Dial overrides the transport, e.g. to wrap connections in a
+	// fault-injecting FaultConn. Defaults to TCP via net.DialTimeout.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// Sleep overrides backoff waiting (tests). Defaults to time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (o AgentOptions) withDefaults() AgentOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 8
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Dial == nil {
+		o.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	return o
+}
+
+// Agent is the client side of the resource collector: it runs on each
+// cluster server, registers the machine's spec, and streams utilization.
+// Methods are safe for concurrent use.
+type Agent struct {
+	addr     string
+	hostname string
+	spec     ServerSpec
+	opts     AgentOptions
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	rng  *rand.Rand // seeded jitter source, guarded by mu
+}
+
+// DialAgent connects to a collector and registers this server with the
+// default options (single attempt, no reconnection).
+func DialAgent(addr, hostname string, spec ServerSpec) (*Agent, error) {
+	return DialAgentOptions(addr, hostname, spec, AgentOptions{})
+}
+
+// DialAgentOptions connects to a collector and registers this server. With
+// opts.Reconnect the initial connection is also retried with backoff, so an
+// agent may come up before its collector does.
+func DialAgentOptions(addr, hostname string, spec ServerSpec, opts AgentOptions) (*Agent, error) {
+	if hostname == "" {
+		return nil, fmt.Errorf("cluster: agent requires a hostname")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: agent spec: %w", err)
+	}
+	opts = opts.withDefaults()
+	a := &Agent{
+		addr:     addr,
+		hostname: hostname,
+		spec:     spec,
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.connectLocked(); err != nil {
+		if !opts.Reconnect {
+			return nil, err
+		}
+		if err := a.retryConnectLocked(err); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// connectLocked dials and registers; the caller holds a.mu.
+func (a *Agent) connectLocked() error {
+	conn, err := a.opts.Dial(a.addr, a.opts.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("cluster: agent dial: %w", err)
+	}
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(wireMessage{Type: msgRegister, Hostname: a.hostname, Spec: a.spec}); err != nil {
+		err = fmt.Errorf("cluster: agent register: %w", err)
+		if cerr := conn.Close(); cerr != nil {
+			err = errors.Join(err, fmt.Errorf("cluster: agent close: %w", cerr))
+		}
+		return err
+	}
+	a.conn, a.enc = conn, enc
+	return nil
+}
+
+// retryConnectLocked runs the backoff loop after a failed connect, keeping
+// the last error when every attempt is exhausted. The caller holds a.mu.
+func (a *Agent) retryConnectLocked(lastErr error) error {
+	for attempt := 1; attempt < a.opts.MaxAttempts; attempt++ {
+		a.opts.Sleep(a.backoffLocked(attempt - 1))
+		if err := a.connectLocked(); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("cluster: agent gave up after %d attempts: %w", a.opts.MaxAttempts, lastErr)
+}
+
+// backoffLocked returns the jittered exponential delay for one retry:
+// uniformly within [0.5, 1.0)·min(Base·2^attempt, Max), drawn from the
+// seeded RNG. The caller holds a.mu.
+func (a *Agent) backoffLocked(attempt int) time.Duration {
+	d := a.opts.BaseBackoff
+	for i := 0; i < attempt && d < a.opts.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > a.opts.MaxBackoff {
+		d = a.opts.MaxBackoff
+	}
+	return time.Duration((0.5 + 0.5*a.rng.Float64()) * float64(d))
+}
+
+// dropConnLocked abandons the current connection after a transport failure.
+// The close error is irrelevant: the connection is already known broken.
+func (a *Agent) dropConnLocked() {
+	if a.conn != nil {
+		_ = a.conn.Close()
+		a.conn, a.enc = nil, nil
+	}
+}
+
+// Report streams one utilization sample to the collector. In Reconnect mode
+// a dead connection is transparently re-established (redial + re-register)
+// and the sample retried with seeded exponential backoff; otherwise the
+// transport error is returned as-is.
+func (a *Agent) Report(cpuUtil, gpuUtil, diskLoad float64, availableCores int) error {
+	m := wireMessage{
+		Type: msgUpdate, Hostname: a.hostname,
+		CPUUtil: cpuUtil, GPUUtil: gpuUtil, DiskLoad: diskLoad,
+		AvailableCores: availableCores,
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	err := a.sendLocked(m)
+	if err == nil || !a.opts.Reconnect {
+		return err
+	}
+	for attempt := 1; attempt < a.opts.MaxAttempts; attempt++ {
+		a.opts.Sleep(a.backoffLocked(attempt - 1))
+		if cerr := a.connectLocked(); cerr != nil {
+			err = cerr
+			continue
+		}
+		if err = a.sendLocked(m); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: agent report gave up after %d attempts: %w", a.opts.MaxAttempts, err)
+}
+
+// sendLocked encodes one message on the live connection, dropping it on
+// failure so the next attempt redials. The caller holds a.mu.
+func (a *Agent) sendLocked(m wireMessage) error {
+	if a.enc == nil {
+		return fmt.Errorf("cluster: agent is not connected")
+	}
+	if err := a.enc.Encode(m); err != nil {
+		a.dropConnLocked()
+		return fmt.Errorf("cluster: agent report: %w", err)
+	}
+	return nil
+}
+
+// Close deregisters from the collector and closes the connection. The bye
+// message is best-effort: the collector's TTL reaps us either way.
+func (a *Agent) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.conn == nil {
+		return nil
+	}
+	_ = a.enc.Encode(wireMessage{Type: msgBye, Hostname: a.hostname})
+	conn := a.conn
+	a.conn, a.enc = nil, nil
+	if err := conn.Close(); err != nil {
+		return fmt.Errorf("cluster: agent close: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastRetry keeps reconnect tests snappy without touching determinism.
+func fastRetry(seed int64) AgentOptions {
+	return AgentOptions{
+		Reconnect:   true,
+		MaxAttempts: 10,
+		BaseBackoff: 2 * time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		Seed:        seed,
+	}
+}
+
+// A collector restart on the same address heals transparently: the agent
+// redials, re-registers, and the inventory rebuilds without a new Agent.
+func TestAgentReconnectsAfterCollectorRestart(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0", CollectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := col.Addr()
+	a, err := DialAgentOptions(addr, "node", SpecGPUP100(), fastRetry(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	waitFor(t, "initial registration", func() bool { return len(col.Snapshot()) == 1 })
+
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	col, err = NewCollector(addr, CollectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { col.Close() })
+
+	// The first write after the restart may land in the kernel buffer before
+	// the RST arrives, so drive reports until the inventory rebuilds; every
+	// call must come back nil (self-healed), never a hard failure.
+	waitFor(t, "re-registration after restart", func() bool {
+		if err := a.Report(0.3, 0.1, 0, 0); err != nil {
+			t.Fatalf("Report did not self-heal: %v", err)
+		}
+		return len(col.Snapshot()) == 1
+	})
+}
+
+// Agents with equal seeds replay identical backoff schedules; the schedule
+// respects the exponential envelope and the [0.5, 1.0) jitter band.
+func TestAgentBackoffDeterministicPerSeed(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		var mu sync.Mutex
+		var slept []time.Duration
+		_, err := DialAgentOptions("unreachable", "node", SpecCPUE52630(), AgentOptions{
+			Reconnect:   true,
+			MaxAttempts: 6,
+			BaseBackoff: 10 * time.Millisecond,
+			MaxBackoff:  50 * time.Millisecond,
+			Seed:        seed,
+			Dial: func(addr string, timeout time.Duration) (net.Conn, error) {
+				return nil, fmt.Errorf("refused")
+			},
+			Sleep: func(d time.Duration) { mu.Lock(); slept = append(slept, d); mu.Unlock() },
+		})
+		if err == nil {
+			t.Fatal("dial against a dead stub succeeded")
+		}
+		return slept
+	}
+
+	s1, s2 := schedule(7), schedule(7)
+	if len(s1) != 5 { // MaxAttempts-1 retries
+		t.Fatalf("retries = %d, want 5", len(s1))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("equal seeds diverged at retry %d: %v != %v", i, s1[i], s2[i])
+		}
+	}
+	// Jitter band: retry k draws from [0.5, 1.0)·min(10ms·2^k, 50ms).
+	for i, d := range s1 {
+		env := 10 * time.Millisecond
+		for j := 0; j < i && env < 50*time.Millisecond; j++ {
+			env *= 2
+		}
+		if env > 50*time.Millisecond {
+			env = 50 * time.Millisecond
+		}
+		if d < env/2 || d >= env {
+			t.Fatalf("retry %d slept %v, outside [%v, %v)", i, d, env/2, env)
+		}
+	}
+	// A different seed draws a different schedule (overwhelmingly likely
+	// for 5 consecutive float64 draws).
+	s3 := schedule(8)
+	same := true
+	for i := range s1 {
+		if s1[i] != s3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter schedules")
+	}
+}
+
+// Without Reconnect, a transport failure surfaces immediately.
+func TestAgentNoReconnectFailsFast(t *testing.T) {
+	col := newTestCollector(t)
+	a, err := DialAgent(col.Addr(), "node", SpecCPUE52650())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the transport under the agent.
+	a.mu.Lock()
+	a.conn.Close()
+	a.mu.Unlock()
+	// The kernel may buffer the first post-close write; the second must fail.
+	var reportErr error
+	for i := 0; i < 10 && reportErr == nil; i++ {
+		reportErr = a.Report(0.1, 0, 0, 0)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if reportErr == nil {
+		t.Fatal("Report on a dead conn kept succeeding without Reconnect")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An agent riding a FaultConn that dies every few writes keeps reporting
+// successfully: each injected death triggers redial + re-register.
+func TestAgentRecoversThroughInjectedFaults(t *testing.T) {
+	col := newTestCollector(t)
+	opts := fastRetry(3)
+	opts.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		// Every connection dies after 3 writes (register + two messages).
+		return NewFaultConn(conn, FaultOptions{FailAfter: 3}), nil
+	}
+	a, err := DialAgentOptions(col.Addr(), "flaky", SpecGPUP100(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for i := 0; i < 10; i++ {
+		if err := a.Report(0.5, 0.5, 0, 0); err != nil {
+			t.Fatalf("report %d did not survive the injected fault: %v", i, err)
+		}
+	}
+	waitFor(t, "flaky agent registered", func() bool {
+		s := col.Snapshot()
+		return len(s) == 1 && s[0].Hostname == "flaky"
+	})
+}

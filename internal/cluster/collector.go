@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -42,12 +43,14 @@ type ServerInfo struct {
 // in a bounded worker pool, maintaining an inventory of live servers.
 // Entries not refreshed within TTL are dropped from snapshots.
 type Collector struct {
-	ln  net.Listener
-	ttl time.Duration
-	now func() time.Time
+	ln     net.Listener
+	ttl    time.Duration
+	maxMsg int
+	now    func() time.Time
 
 	mu        sync.Mutex
 	servers   map[string]*ServerInfo
+	owners    map[string]net.Conn  // hostname → the connection that registered it
 	conns     map[net.Conn]struct{} // live connections, closed on shutdown
 	acceptErr error                 // last non-shutdown accept failure, surfaced by Close
 
@@ -58,11 +61,17 @@ type Collector struct {
 
 // CollectorOptions tunes a Collector.
 type CollectorOptions struct {
-	// TTL is how long a registration stays valid without updates.
-	// Defaults to 30 s.
+	// TTL is how long a registration stays valid without updates. It also
+	// bounds how long a silent connection may hold a handler slot: each
+	// read carries a deadline of now+TTL, so a dead agent is reaped exactly
+	// when its inventory entry would expire anyway. Defaults to 30 s.
 	TTL time.Duration
 	// MaxHandlers bounds concurrent connection handlers. Defaults to 64.
 	MaxHandlers int
+	// MaxMessageBytes caps one newline-delimited JSON message; oversized
+	// frames drop the connection instead of buffering without bound.
+	// Defaults to 64 KiB.
+	MaxMessageBytes int
 }
 
 // NewCollector listens on addr (e.g. "127.0.0.1:0") and starts accepting
@@ -74,6 +83,9 @@ func NewCollector(addr string, opts CollectorOptions) (*Collector, error) {
 	if opts.MaxHandlers <= 0 {
 		opts.MaxHandlers = 64
 	}
+	if opts.MaxMessageBytes <= 0 {
+		opts.MaxMessageBytes = 64 << 10
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: collector listen: %w", err)
@@ -81,8 +93,10 @@ func NewCollector(addr string, opts CollectorOptions) (*Collector, error) {
 	c := &Collector{
 		ln:      ln,
 		ttl:     opts.TTL,
+		maxMsg:  opts.MaxMessageBytes,
 		now:     time.Now,
 		servers: make(map[string]*ServerInfo),
+		owners:  make(map[string]net.Conn),
 		conns:   make(map[net.Conn]struct{}),
 		sem:     make(chan struct{}, opts.MaxHandlers),
 		closed:  make(chan struct{}),
@@ -147,33 +161,57 @@ func (c *Collector) handle(conn net.Conn) {
 	}
 	c.conns[conn] = struct{}{}
 	c.mu.Unlock()
+	var owned string // hostname this connection registered
 	defer func() {
 		c.mu.Lock()
 		delete(c.conns, conn)
+		if owned != "" && c.owners[owned] == conn {
+			// Release the name so a rebooted machine can re-register
+			// immediately; the inventory entry itself stays until TTL (its
+			// data was valid when last seen).
+			delete(c.owners, owned)
+		}
 		c.mu.Unlock()
 		conn.Close()
 	}()
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	var hostname string
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 1024), c.maxMsg)
 	for {
-		var m wireMessage
-		if err := dec.Decode(&m); err != nil {
+		// Per-message read deadline keyed to TTL: a silent connection is
+		// dropped right when its inventory entry would expire, freeing the
+		// handler slot instead of pinning it forever.
+		c.mu.Lock()
+		deadline := c.now().Add(c.ttl)
+		c.mu.Unlock()
+		if err := conn.SetReadDeadline(deadline); err != nil {
 			return
+		}
+		if !sc.Scan() {
+			return // EOF, expired deadline, oversized frame, or transport error
+		}
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var m wireMessage
+		if err := json.Unmarshal(line, &m); err != nil {
+			return // malformed frame: drop the connection
 		}
 		switch m.Type {
 		case msgRegister:
 			if m.Hostname == "" || m.Spec.Validate() != nil {
 				return // malformed registration: drop the connection
 			}
-			hostname = m.Hostname
-			c.upsert(m)
+			if !c.register(conn, &owned, m) {
+				return // hostname is owned by another live connection
+			}
 		case msgUpdate:
-			if hostname == "" || m.Hostname != hostname {
+			if owned == "" || m.Hostname != owned {
 				return // updates must follow a registration on the same conn
 			}
 			c.upsert(m)
 		case msgBye:
-			c.remove(hostname)
+			c.removeOwned(conn, owned)
 			return
 		default:
 			return
@@ -181,9 +219,34 @@ func (c *Collector) handle(conn net.Conn) {
 	}
 }
 
+// register records conn as the owner of m.Hostname and upserts its entry.
+// Registration is conn-owned: a hostname registered by another live
+// connection is refused (two agents must not silently fight over one
+// ServerInfo), and a connection that re-registers under a new hostname
+// deregisters its previous entry instead of orphaning it until TTL.
+func (c *Collector) register(conn net.Conn, owned *string, m wireMessage) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if owner, taken := c.owners[m.Hostname]; taken && owner != conn {
+		return false
+	}
+	if prev := *owned; prev != "" && prev != m.Hostname && c.owners[prev] == conn {
+		delete(c.owners, prev)
+		delete(c.servers, prev)
+	}
+	c.owners[m.Hostname] = conn
+	*owned = m.Hostname
+	c.upsertLocked(m)
+	return true
+}
+
 func (c *Collector) upsert(m wireMessage) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.upsertLocked(m)
+}
+
+func (c *Collector) upsertLocked(m wireMessage) {
 	info, ok := c.servers[m.Hostname]
 	if !ok {
 		info = &ServerInfo{Hostname: m.Hostname}
@@ -199,13 +262,18 @@ func (c *Collector) upsert(m wireMessage) {
 	info.LastSeen = c.now()
 }
 
-func (c *Collector) remove(hostname string) {
+// removeOwned deregisters hostname only when conn is its registered owner,
+// so a connection can never deregister an entry it does not own.
+func (c *Collector) removeOwned(conn net.Conn, hostname string) {
 	if hostname == "" {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	delete(c.servers, hostname)
+	if c.owners[hostname] == conn {
+		delete(c.owners, hostname)
+		delete(c.servers, hostname)
+	}
 }
 
 // Snapshot returns the live inventory sorted by hostname, excluding entries
@@ -265,56 +333,3 @@ func (c *Collector) Close() error {
 	return err
 }
 
-// Agent is the client side of the resource collector: it runs on each
-// cluster server, registers the machine's spec, and streams utilization.
-type Agent struct {
-	conn     net.Conn
-	enc      *json.Encoder
-	hostname string
-}
-
-// DialAgent connects to a collector and registers this server.
-func DialAgent(addr, hostname string, spec ServerSpec) (*Agent, error) {
-	if hostname == "" {
-		return nil, fmt.Errorf("cluster: agent requires a hostname")
-	}
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: agent dial: %w", err)
-	}
-	a := &Agent{conn: conn, enc: json.NewEncoder(conn), hostname: hostname}
-	if err := a.enc.Encode(wireMessage{Type: msgRegister, Hostname: hostname, Spec: spec}); err != nil {
-		err = fmt.Errorf("cluster: agent register: %w", err)
-		if cerr := conn.Close(); cerr != nil {
-			err = errors.Join(err, fmt.Errorf("cluster: agent close: %w", cerr))
-		}
-		return nil, err
-	}
-	return a, nil
-}
-
-// Report streams one utilization sample to the collector.
-func (a *Agent) Report(cpuUtil, gpuUtil, diskLoad float64, availableCores int) error {
-	err := a.enc.Encode(wireMessage{
-		Type: msgUpdate, Hostname: a.hostname,
-		CPUUtil: cpuUtil, GPUUtil: gpuUtil, DiskLoad: diskLoad,
-		AvailableCores: availableCores,
-	})
-	if err != nil {
-		return fmt.Errorf("cluster: agent report: %w", err)
-	}
-	return nil
-}
-
-// Close deregisters from the collector and closes the connection. The bye
-// message is best-effort: the collector's TTL reaps us either way.
-func (a *Agent) Close() error {
-	_ = a.enc.Encode(wireMessage{Type: msgBye, Hostname: a.hostname})
-	if err := a.conn.Close(); err != nil {
-		return fmt.Errorf("cluster: agent close: %w", err)
-	}
-	return nil
-}

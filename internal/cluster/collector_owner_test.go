@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// dialRaw opens a raw protocol connection to the collector.
+func dialRaw(t *testing.T, addr string) (net.Conn, *json.Encoder) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn, json.NewEncoder(conn)
+}
+
+// A hostname registered on a live connection cannot be claimed by a second
+// connection: the duplicate registration is refused and the intruding
+// connection dropped, so two agents never silently fight over one entry.
+func TestCollectorRejectsDuplicateHostname(t *testing.T) {
+	col := newTestCollector(t)
+	a, err := DialAgent(col.Addr(), "node", SpecCPUE52630())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	waitFor(t, "first registration", func() bool { return len(col.Snapshot()) == 1 })
+
+	intruder, enc := dialRaw(t, col.Addr())
+	if err := enc.Encode(wireMessage{Type: msgRegister, Hostname: "node", Spec: SpecGPUP100()}); err != nil {
+		t.Fatal(err)
+	}
+	// The protocol has no responses; rejection shows up as the collector
+	// closing the intruder's connection.
+	if err := intruder.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := intruder.Read(make([]byte, 1)); err == nil {
+		t.Fatal("intruder connection still open after duplicate registration")
+	}
+	// The original registration is untouched.
+	snap := col.Snapshot()
+	if len(snap) != 1 || snap[0].Server.Spec.HasGPU() {
+		t.Fatalf("duplicate registration mutated the inventory: %+v", snap)
+	}
+}
+
+// A bye can only remove the sender's own registration, regardless of the
+// hostname it claims.
+func TestCollectorByeRemovesOnlyOwnEntry(t *testing.T) {
+	col := newTestCollector(t)
+	victim, err := DialAgent(col.Addr(), "victim", SpecGPUP100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+	_, enc := dialRaw(t, col.Addr())
+	if err := enc.Encode(wireMessage{Type: msgRegister, Hostname: "self", Spec: SpecCPUE52650()}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "both registrations", func() bool { return len(col.Snapshot()) == 2 })
+
+	// A bye claiming the victim's hostname removes the sender's entry only.
+	if err := enc.Encode(wireMessage{Type: msgBye, Hostname: "victim"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "spoofed bye removed self only", func() bool {
+		s := col.Snapshot()
+		return len(s) == 1 && s[0].Hostname == "victim"
+	})
+}
+
+// Re-registering under a new hostname on the same connection moves the
+// registration: the previous entry is deregistered, not orphaned until TTL.
+func TestCollectorReRegisterNewHostnameSameConn(t *testing.T) {
+	col := newTestCollector(t)
+	conn, enc := dialRaw(t, col.Addr())
+	if err := enc.Encode(wireMessage{Type: msgRegister, Hostname: "old", Spec: SpecCPUE52630()}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first registration", func() bool { return len(col.Snapshot()) == 1 })
+	if err := enc.Encode(wireMessage{Type: msgRegister, Hostname: "new", Spec: SpecCPUE52630()}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "rename", func() bool {
+		s := col.Snapshot()
+		return len(s) == 1 && s[0].Hostname == "new"
+	})
+	// Ownership followed the rename: "old" is free, "new" belongs to conn.
+	col.mu.Lock()
+	_, oldTaken := col.owners["old"]
+	newOwner := col.owners["new"]
+	col.mu.Unlock()
+	if oldTaken {
+		t.Fatal("previous hostname still owned after rename")
+	}
+	if newOwner == nil {
+		t.Fatal("new hostname has no owner")
+	}
+	// Updates under the new name work; the old name is gone entirely.
+	if err := enc.Encode(wireMessage{Type: msgUpdate, Hostname: "new", CPUUtil: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "update under new name", func() bool {
+		s := col.Snapshot()
+		return len(s) == 1 && s[0].Server.CPUUtil == 0.4
+	})
+	conn.Close()
+}
+
+// 64 silent connections saturate a MaxHandlers=64 pool; the per-message read
+// deadline (keyed to TTL) reaps them all and the collector recovers without
+// being closed or restarted.
+func TestCollectorReapsSilentConnections(t *testing.T) {
+	const handlers = 64
+	ttl := 150 * time.Millisecond
+	col, err := NewCollector("127.0.0.1:0", CollectorOptions{TTL: ttl, MaxHandlers: handlers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { col.Close() })
+
+	// Saturate every handler slot with a connection that never speaks.
+	silent := make([]net.Conn, 0, handlers)
+	defer func() {
+		for _, c := range silent {
+			c.Close()
+		}
+	}()
+	for i := 0; i < handlers; i++ {
+		conn, err := net.Dial("tcp", col.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		silent = append(silent, conn)
+	}
+	waitFor(t, "handler pool saturation", func() bool {
+		col.mu.Lock()
+		defer col.mu.Unlock()
+		return len(col.conns) == handlers
+	})
+
+	// A real agent dials in while every slot is pinned. Its registration can
+	// only land once the deadline reaper frees a slot.
+	a, err := DialAgent(col.Addr(), "late-arrival", SpecGPUP100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	waitFor(t, "recovery after reaping", func() bool {
+		s := col.Snapshot()
+		return len(s) == 1 && s[0].Hostname == "late-arrival"
+	})
+	// Every silent connection was closed by the collector, not the test.
+	for i, c := range silent {
+		if err := c.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Fatalf("silent conn %d still open after reaping", i)
+		}
+	}
+}
+
+// An oversized frame (beyond MaxMessageBytes) drops the connection instead
+// of buffering without bound.
+func TestCollectorDropsOversizedMessage(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0", CollectorOptions{MaxMessageBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { col.Close() })
+	conn, _ := dialRaw(t, col.Addr())
+	huge := make([]byte, 4096)
+	for i := range huge {
+		huge[i] = 'x'
+	}
+	if _, err := conn.Write(huge); err != nil {
+		// The collector may already have dropped us mid-write; that is the
+		// behavior under test.
+		return
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("oversized frame did not drop the connection")
+	}
+	if got := len(col.Snapshot()); got != 0 {
+		t.Fatalf("oversized frame registered %d servers", got)
+	}
+}
+
+// Ownership release on connection death is what lets a rebooted machine
+// re-register; churn it a few times to catch leaks in the owner map.
+func TestCollectorOwnershipChurn(t *testing.T) {
+	col := newTestCollector(t)
+	for round := 0; round < 5; round++ {
+		conn, err := net.Dial("tcp", col.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := json.NewEncoder(conn)
+		if err := enc.Encode(wireMessage{Type: msgRegister, Hostname: "reborn", Spec: SpecCPUE52650()}); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, fmt.Sprintf("round %d registration", round), func() bool {
+			col.mu.Lock()
+			defer col.mu.Unlock()
+			return col.owners["reborn"] != nil
+		})
+		conn.Close() // rude death, no bye
+		waitFor(t, fmt.Sprintf("round %d ownership release", round), func() bool {
+			col.mu.Lock()
+			defer col.mu.Unlock()
+			return col.owners["reborn"] == nil
+		})
+	}
+	col.mu.Lock()
+	owners := len(col.owners)
+	col.mu.Unlock()
+	if owners != 0 {
+		t.Fatalf("owner map leaked %d entries", owners)
+	}
+}

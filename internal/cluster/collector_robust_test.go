@@ -94,24 +94,41 @@ func TestCollectorRejectsHostnameSpoofing(t *testing.T) {
 	}
 }
 
-// Re-registration from a new connection replaces the old state (server
-// reboot scenario).
+// Re-registration after the owning connection dies replaces the old state
+// (server reboot scenario). While the original connection is alive, the
+// hostname is conn-owned and a duplicate registration is refused — that
+// path is covered in collector_owner_test.go.
 func TestCollectorReRegistration(t *testing.T) {
 	col := newTestCollector(t)
-	a1, err := DialAgent(col.Addr(), "node", SpecCPUE52630())
+	// First "boot": a raw connection registers and reports load, then dies
+	// without a bye (power loss, not graceful shutdown).
+	conn, err := net.Dial("tcp", col.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(wireMessage{Type: msgRegister, Hostname: "node", Spec: SpecCPUE52630()}); err != nil {
+		t.Fatal(err)
+	}
 	waitFor(t, "first registration", func() bool { return len(col.Snapshot()) == 1 })
-	if err := a1.Report(0.9, 0, 0, 0); err != nil {
+	if err := enc.Encode(wireMessage{Type: msgUpdate, Hostname: "node", CPUUtil: 0.9}); err != nil {
 		t.Fatal(err)
 	}
 	waitFor(t, "load update", func() bool {
 		s := col.Snapshot()
 		return len(s) == 1 && s[0].Server.CPUUtil == 0.9
 	})
+	conn.Close()
+	// Ownership releases once the handler notices the dead connection; the
+	// stale entry itself survives until TTL (its data was valid when seen).
+	waitFor(t, "ownership release", func() bool {
+		col.mu.Lock()
+		defer col.mu.Unlock()
+		_, taken := col.owners["node"]
+		return !taken
+	})
 
-	// The machine "reboots" with a different class and fresh load.
+	// The machine reboots with a different class and fresh load.
 	a2, err := DialAgent(col.Addr(), "node", SpecGPUP100())
 	if err != nil {
 		t.Fatal(err)
@@ -121,7 +138,6 @@ func TestCollectorReRegistration(t *testing.T) {
 		s := col.Snapshot()
 		return len(s) == 1 && s[0].Server.Spec.HasGPU() && s[0].Server.CPUUtil == 0
 	})
-	a1.Close()
 }
 
 // Many agents churn (connect, report, disconnect) concurrently; the

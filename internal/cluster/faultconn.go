@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// FaultOptions selects which transport faults a FaultConn injects. Faults
+// are counter-based, not random, so a test replays the exact same failure
+// sequence every run (the project's determinism discipline).
+type FaultOptions struct {
+	// DropEveryN swallows every Nth write: the caller sees success but the
+	// peer never receives the frame (a lost datagram / dropped segment).
+	// 0 disables.
+	DropEveryN int
+	// Delay is added before every write (a slow or congested link).
+	Delay time.Duration
+	// TruncateAt cuts writes longer than this many bytes to exactly this
+	// many, reporting full success — a partial frame on the wire.
+	// 0 disables.
+	TruncateAt int
+	// FailAfter kills the connection after this many writes: the
+	// underlying conn is closed and every later operation fails (a peer
+	// crash mid-stream). 0 disables.
+	FailAfter int
+	// Sleep implements Delay; defaults to time.Sleep (tests may record
+	// instead of sleeping).
+	Sleep func(time.Duration)
+}
+
+// FaultConn wraps a net.Conn and injects deterministic transport faults —
+// dropped frames, latency, truncation, and mid-stream death — so tests can
+// exercise degraded-network paths (collector reaping, agent reconnection)
+// without a real flaky network. Reads pass through untouched; faults apply
+// to the write path, which is where the agent protocol lives.
+type FaultConn struct {
+	net.Conn
+	opts FaultOptions
+
+	mu     sync.Mutex
+	writes int
+	dead   bool
+}
+
+// NewFaultConn wraps conn with the given fault plan.
+func NewFaultConn(conn net.Conn, opts FaultOptions) *FaultConn {
+	if opts.Sleep == nil {
+		opts.Sleep = time.Sleep
+	}
+	return &FaultConn{Conn: conn, opts: opts}
+}
+
+// Writes reports how many writes have been attempted (test observability).
+func (f *FaultConn) Writes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+// Write applies the fault plan to one outgoing frame.
+func (f *FaultConn) Write(b []byte) (int, error) {
+	f.mu.Lock()
+	if f.dead {
+		f.mu.Unlock()
+		return 0, fmt.Errorf("cluster: fault conn: connection already failed")
+	}
+	f.writes++
+	n := f.writes
+	kill := f.opts.FailAfter > 0 && n > f.opts.FailAfter
+	if kill {
+		f.dead = true
+	}
+	f.mu.Unlock()
+
+	if kill {
+		if cerr := f.Conn.Close(); cerr != nil {
+			return 0, fmt.Errorf("cluster: fault conn: injected failure after %d writes (close: %w)", f.opts.FailAfter, cerr)
+		}
+		return 0, fmt.Errorf("cluster: fault conn: injected failure after %d writes", f.opts.FailAfter)
+	}
+	if f.opts.Delay > 0 {
+		f.opts.Sleep(f.opts.Delay)
+	}
+	if f.opts.DropEveryN > 0 && n%f.opts.DropEveryN == 0 {
+		return len(b), nil // swallowed: the peer never sees this frame
+	}
+	if f.opts.TruncateAt > 0 && len(b) > f.opts.TruncateAt {
+		if _, err := f.Conn.Write(b[:f.opts.TruncateAt]); err != nil {
+			return 0, fmt.Errorf("cluster: fault conn write: %w", err)
+		}
+		return len(b), nil // the tail is silently lost
+	}
+	n2, err := f.Conn.Write(b)
+	if err != nil {
+		return n2, fmt.Errorf("cluster: fault conn write: %w", err)
+	}
+	return n2, nil
+}

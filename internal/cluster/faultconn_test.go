@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipePair returns a FaultConn over one end of an in-memory pipe plus a
+// buffer accumulating everything the peer actually receives.
+func pipePair(t *testing.T, opts FaultOptions) (*FaultConn, *peerBuffer) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	t.Cleanup(func() { c1.Close(); c2.Close() })
+	fc := NewFaultConn(c1, opts)
+	pb := &peerBuffer{done: make(chan struct{})}
+	go pb.drain(c2)
+	return fc, pb
+}
+
+type peerBuffer struct {
+	mu   sync.Mutex
+	buf  bytes.Buffer
+	done chan struct{}
+}
+
+func (p *peerBuffer) drain(conn net.Conn) {
+	defer close(p.done)
+	tmp := make([]byte, 256)
+	for {
+		n, err := conn.Read(tmp)
+		p.mu.Lock()
+		p.buf.Write(tmp[:n])
+		p.mu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (p *peerBuffer) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.buf.String()
+}
+
+func TestFaultConnPassthrough(t *testing.T) {
+	fc, pb := pipePair(t, FaultOptions{})
+	if _, err := fc.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "passthrough delivery", func() bool { return pb.String() == "hello" })
+	if fc.Writes() != 1 {
+		t.Fatalf("writes = %d", fc.Writes())
+	}
+}
+
+func TestFaultConnDropsEveryN(t *testing.T) {
+	fc, pb := pipePair(t, FaultOptions{DropEveryN: 2})
+	for _, s := range []string{"a", "b", "c", "d", "e"} {
+		n, err := fc.Write([]byte(s))
+		if err != nil || n != 1 {
+			t.Fatalf("write %q = (%d, %v)", s, n, err)
+		}
+	}
+	// Writes 2 and 4 are swallowed; the caller saw success for all five.
+	waitFor(t, "surviving frames", func() bool { return pb.String() == "ace" })
+}
+
+func TestFaultConnTruncates(t *testing.T) {
+	fc, pb := pipePair(t, FaultOptions{TruncateAt: 3})
+	n, err := fc.Write([]byte("hello"))
+	if err != nil || n != 5 {
+		t.Fatalf("truncated write = (%d, %v), want reported success", n, err)
+	}
+	if _, err := fc.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "truncated delivery", func() bool { return pb.String() == "helok" })
+}
+
+func TestFaultConnDelayUsesSleep(t *testing.T) {
+	var mu sync.Mutex
+	var slept []time.Duration
+	fc, pb := pipePair(t, FaultOptions{
+		Delay: 7 * time.Millisecond,
+		Sleep: func(d time.Duration) { mu.Lock(); slept = append(slept, d); mu.Unlock() },
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := fc.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "delayed delivery", func() bool { return pb.String() == "xxx" })
+	mu.Lock()
+	defer mu.Unlock()
+	if len(slept) != 3 || slept[0] != 7*time.Millisecond {
+		t.Fatalf("slept = %v", slept)
+	}
+}
+
+func TestFaultConnFailAfter(t *testing.T) {
+	fc, pb := pipePair(t, FaultOptions{FailAfter: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := fc.Write([]byte("x")); err != nil {
+			t.Fatalf("write %d before the failure point: %v", i+1, err)
+		}
+	}
+	if _, err := fc.Write([]byte("x")); err == nil {
+		t.Fatal("third write succeeded past FailAfter=2")
+	}
+	// The connection is dead for good: later writes fail too, and the peer
+	// sees the stream end.
+	if _, err := fc.Write([]byte("x")); err == nil {
+		t.Fatal("write on a dead conn succeeded")
+	}
+	select {
+	case <-pb.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer never observed the injected death")
+	}
+	if pb.String() != "xx" {
+		t.Fatalf("peer received %q, want exactly the pre-failure writes", pb.String())
+	}
+}
+
+// FaultConn reads pass through: the fault plan targets writes only.
+func TestFaultConnReadsUntouched(t *testing.T) {
+	c1, c2 := net.Pipe()
+	t.Cleanup(func() { c1.Close(); c2.Close() })
+	fc := NewFaultConn(c1, FaultOptions{DropEveryN: 1}) // every write dropped
+	go func() {
+		c2.Write([]byte("inbound"))
+		c2.Close()
+	}()
+	got, err := io.ReadAll(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "inbound" {
+		t.Fatalf("read %q through fault conn", got)
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+// DefaultEmbeddingCacheSize bounds the engine's embedding cache. Embeddings
+// are a pure function of (GHN weights, graph), so eviction can never change
+// a prediction — only how often one is recomputed. The default comfortably
+// covers the 31-model zoo plus realistic custom-graph working sets while
+// capping worst-case memory under a stream of distinct graphs.
+const DefaultEmbeddingCacheSize = 4096
+
+// embedCache is a size-capped, insertion-ordered (FIFO) embedding cache.
+// Eviction is deterministic: when full, the oldest-inserted key is dropped.
+// No wall clock and no access-order bookkeeping are involved (an LRU would
+// let concurrent lookup interleavings pick the victim), so a replayed
+// request stream always evicts the same keys in the same order.
+//
+// The zero value is not usable; construct with newEmbedCache. Callers must
+// hold the owning engine's mutex — the cache itself is not goroutine-safe.
+type embedCache struct {
+	limit int // maximum entries; <= 0 means unbounded
+	m     map[string][]float64
+	// order is the FIFO insertion queue: order[head:] are the live keys,
+	// oldest first. The spent prefix is dropped wholesale once it dominates
+	// the backing array, keeping amortized O(1) eviction without a ring.
+	order []string
+	head  int
+}
+
+// newEmbedCache returns a cache bounded to limit entries (<= 0: unbounded).
+func newEmbedCache(limit int) *embedCache {
+	return &embedCache{limit: limit, m: make(map[string][]float64)}
+}
+
+// get returns the cached embedding for key, if present.
+func (c *embedCache) get(key string) ([]float64, bool) {
+	v, ok := c.m[key]
+	return v, ok
+}
+
+// put inserts key → emb, evicting the oldest entry when the cache is full.
+// If key is already present the existing slice is kept (and returned), so
+// repeated lookups stay pointer-stable for concurrent callers that raced on
+// the same miss.
+func (c *embedCache) put(key string, emb []float64) []float64 {
+	if prev, ok := c.m[key]; ok {
+		return prev
+	}
+	if c.limit > 0 {
+		for len(c.m) >= c.limit {
+			oldest := c.order[c.head]
+			c.order[c.head] = "" // release the string for GC
+			c.head++
+			delete(c.m, oldest)
+		}
+		if c.head > len(c.order)/2 && c.head > 0 {
+			c.order = append([]string(nil), c.order[c.head:]...)
+			c.head = 0
+		}
+	}
+	c.m[key] = emb
+	c.order = append(c.order, key)
+	return emb
+}
+
+// len returns the number of live entries.
+func (c *embedCache) len() int { return len(c.m) }

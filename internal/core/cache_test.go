@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"predictddl/internal/ghn"
+	"predictddl/internal/graph"
+	"predictddl/internal/regress"
+	"predictddl/internal/tensor"
+)
+
+// tinyGraph builds a minimal input→conv graph whose parameter count varies
+// with i, so every index yields a distinct content fingerprint without the
+// cost of a zoo architecture.
+func tinyGraph(t testing.TB, i int) *graph.Graph {
+	t.Helper()
+	g := graph.New(fmt.Sprintf("tiny-%d", i))
+	in := g.AddNode(&graph.Node{Op: graph.OpInput, OutChannels: 3, OutH: 8, OutW: 8})
+	conv := g.AddNode(&graph.Node{
+		Op: graph.OpConv, OutChannels: 4, OutH: 8, OutW: 8,
+		Params: int64(i + 1), FLOPs: int64(1000 + i),
+	})
+	if err := g.AddEdge(in, conv); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// untrainedEngine returns an engine whose GHN is freshly initialized and
+// whose regressor is unfitted — embeddings work, predictions do not, which
+// is all the cache paths need.
+func untrainedEngine(t testing.TB) *InferenceEngine {
+	t.Helper()
+	g := ghn.New(ghn.Config{HiddenDim: 8}, tensor.NewRNG(1))
+	return NewInferenceEngine("cifar10", g, regress.NewLinearRegression())
+}
+
+func TestEmbedCacheFIFOEviction(t *testing.T) {
+	c := newEmbedCache(3)
+	for _, k := range []string{"a", "b", "c"} {
+		c.put(k, []float64{1})
+	}
+	// Access "a" — FIFO eviction must ignore recency, so the next insert
+	// still evicts "a" (deterministic victim, unlike an LRU).
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.put("d", []float64{1})
+	if c.len() != 3 {
+		t.Fatalf("len = %d, want 3", c.len())
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatal("oldest entry a survived eviction")
+	}
+	for _, k := range []string{"b", "c", "d"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s evicted out of order", k)
+		}
+	}
+}
+
+func TestEmbedCacheDuplicatePutKeepsFirstSlice(t *testing.T) {
+	c := newEmbedCache(2)
+	first := []float64{1, 2}
+	if got := c.put("k", first); &got[0] != &first[0] {
+		t.Fatal("first put did not return its own slice")
+	}
+	second := []float64{3, 4}
+	if got := c.put("k", second); &got[0] != &first[0] {
+		t.Fatal("duplicate put replaced the cached slice")
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	// The duplicate must not occupy a second FIFO slot: inserting two more
+	// keys should evict "k" exactly once and keep the cache at its cap.
+	c.put("x", []float64{5})
+	c.put("y", []float64{6})
+	if c.len() != 2 {
+		t.Fatalf("len after churn = %d, want 2", c.len())
+	}
+	if _, ok := c.get("k"); ok {
+		t.Fatal("k survived two evictions in a cap-2 cache")
+	}
+}
+
+func TestEmbedCacheUnbounded(t *testing.T) {
+	c := newEmbedCache(0)
+	for i := 0; i < 1000; i++ {
+		c.put(fmt.Sprintf("k%d", i), []float64{float64(i)})
+	}
+	if c.len() != 1000 {
+		t.Fatalf("unbounded cache evicted: len = %d", c.len())
+	}
+}
+
+// The headline bound: a stream of 10k distinct graphs must never grow the
+// engine's cache past its cap.
+func TestEngineCacheBoundedUnderDistinctGraphStream(t *testing.T) {
+	e := untrainedEngine(t)
+	const limit = 64
+	e.SetEmbeddingCacheSize(limit)
+	n := 10000
+	if testing.Short() {
+		n = 1000
+	}
+	for i := 0; i < n; i++ {
+		if _, err := e.Embedding(tinyGraph(t, i)); err != nil {
+			t.Fatal(err)
+		}
+		if got := e.EmbeddingCacheLen(); got > limit {
+			t.Fatalf("cache grew to %d entries (cap %d) after %d graphs", got, limit, i+1)
+		}
+	}
+	if got := e.EmbeddingCacheLen(); got != limit {
+		t.Fatalf("cache len = %d after %d distinct graphs, want %d", got, n, limit)
+	}
+}
+
+// Re-embedding an evicted graph must be bit-identical to the original:
+// eviction may cost latency, never accuracy.
+func TestEvictedEmbeddingRecomputesBitIdentical(t *testing.T) {
+	e := untrainedEngine(t)
+	e.SetEmbeddingCacheSize(16)
+	g0 := tinyGraph(t, 0)
+	first, err := e.Embedding(g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := append([]float64(nil), first...)
+	// Churn enough distinct graphs through the cap-16 cache to evict g0.
+	for i := 1; i <= 100; i++ {
+		if _, err := e.Embedding(tinyGraph(t, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again, err := e.Embedding(g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again[0] == &first[0] {
+		t.Fatal("g0 was never evicted; raise the churn count")
+	}
+	for i := range orig {
+		if orig[i] != again[i] {
+			t.Fatalf("recomputed embedding differs at [%d]: %v != %v", i, orig[i], again[i])
+		}
+	}
+}
+
+// EmbedAll with more misses than the cache holds must still return every
+// embedding: results are served from the call's own computations, not from
+// cache entries that eviction may already have dropped.
+func TestEmbedAllMissesExceedCacheCap(t *testing.T) {
+	e := untrainedEngine(t)
+	e.SetEmbeddingCacheSize(8)
+	graphs := make([]*graph.Graph, 50)
+	for i := range graphs {
+		graphs[i] = tinyGraph(t, i)
+	}
+	out, err := e.EmbedAll(graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(graphs) {
+		t.Fatalf("got %d results for %d graphs", len(out), len(graphs))
+	}
+	for i, emb := range out {
+		if emb == nil {
+			t.Fatalf("result %d is nil (evicted before the fill pass?)", i)
+		}
+	}
+	if got := e.EmbeddingCacheLen(); got > 8 {
+		t.Fatalf("cache len = %d, cap 8", got)
+	}
+	// Index alignment: result i must equal a direct recompute of graph i.
+	direct, err := untrainedEngine(t).Embedding(graphs[7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range direct {
+		if direct[j] != out[7][j] {
+			t.Fatalf("EmbedAll result misaligned at graph 7, dim %d", j)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -13,6 +14,27 @@ import (
 	"predictddl/internal/graph"
 )
 
+// Admission-control defaults (DESIGN.md §8). Both are per-request ceilings:
+// the body cap stops a single client from buffering arbitrary JSON in the
+// controller, the batch cap bounds the fan-out work one POST can demand.
+const (
+	DefaultMaxBodyBytes  = 8 << 20 // 8 MiB — roomy for large custom graph specs
+	DefaultMaxBatchItems = 256
+)
+
+// Sentinel errors classifying Task Checker failures so the HTTP layer can
+// map them to the right status: a missing engine is the client naming an
+// unknown dataset (404), an empty live inventory is a degraded-but-retryable
+// server state (503). Everything else checkRequest returns is bad input (400).
+var (
+	// ErrNoEngine reports that no inference engine serves the requested
+	// dataset.
+	ErrNoEngine = errors.New("no inference engine for dataset")
+	// ErrEmptyInventory reports that the live cluster inventory has no
+	// servers to predict against.
+	ErrEmptyInventory = errors.New("live cluster inventory is empty")
+)
+
 // Controller is the entry point of PredictDDL (§III-D): its Listener
 // receives prediction requests over HTTP, the Task Checker validates them
 // and routes between the inference path and the offline-training path, and
@@ -22,18 +44,68 @@ type Controller struct {
 	engines  map[string]*InferenceEngine // keyed by dataset name
 	registry *GHNRegistry
 
-	// Collector, when set, supplies the live cluster inventory so requests
-	// can omit explicit cluster configurations.
-	Collector *cluster.Collector
+	// collector, when set via SetCollector, supplies the live cluster
+	// inventory so requests can omit explicit cluster configurations.
+	// Guarded by mu: handlers read it while serving, and attachment may
+	// happen after the server is already live.
+	collector *cluster.Collector
+
+	// Admission limits, guarded by mu (see SetLimits).
+	maxBodyBytes  int64
+	maxBatchItems int
 }
 
-// NewController returns a controller serving the given engines.
+// NewController returns a controller serving the given engines with the
+// default admission limits.
 func NewController(registry *GHNRegistry, engines ...*InferenceEngine) *Controller {
-	c := &Controller{engines: make(map[string]*InferenceEngine), registry: registry}
+	c := &Controller{
+		engines:       make(map[string]*InferenceEngine),
+		registry:      registry,
+		maxBodyBytes:  DefaultMaxBodyBytes,
+		maxBatchItems: DefaultMaxBatchItems,
+	}
 	for _, e := range engines {
 		c.engines[e.Dataset()] = e
 	}
 	return c
+}
+
+// SetCollector attaches (or detaches, with nil) the live-inventory
+// collector. Safe to call at any time, including while serving.
+func (c *Controller) SetCollector(col *cluster.Collector) {
+	c.mu.Lock()
+	c.collector = col
+	c.mu.Unlock()
+}
+
+// Collector returns the attached collector, or nil.
+func (c *Controller) Collector() *cluster.Collector {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.collector
+}
+
+// SetLimits adjusts the admission-control ceilings: maxBodyBytes bounds
+// every POST body (<= 0 restores the default), maxBatchItems bounds
+// /v1/predict/batch request counts (<= 0 restores the default). Safe to
+// call at any time.
+func (c *Controller) SetLimits(maxBodyBytes int64, maxBatchItems int) {
+	if maxBodyBytes <= 0 {
+		maxBodyBytes = DefaultMaxBodyBytes
+	}
+	if maxBatchItems <= 0 {
+		maxBatchItems = DefaultMaxBatchItems
+	}
+	c.mu.Lock()
+	c.maxBodyBytes, c.maxBatchItems = maxBodyBytes, maxBatchItems
+	c.mu.Unlock()
+}
+
+// limits returns the current admission ceilings.
+func (c *Controller) limits() (int64, int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.maxBodyBytes, c.maxBatchItems
 }
 
 // AddEngine registers an inference engine for its dataset.
@@ -49,7 +121,7 @@ func (c *Controller) Engine(dataset string) (*InferenceEngine, error) {
 	defer c.mu.RUnlock()
 	e, ok := c.engines[dataset]
 	if !ok {
-		return nil, fmt.Errorf("core: no inference engine for dataset %q", dataset)
+		return nil, fmt.Errorf("core: %w %q", ErrNoEngine, dataset)
 	}
 	return e, nil
 }
@@ -91,7 +163,7 @@ func (c *Controller) checkRequest(req PredictRequest) (*InferenceEngine, *graph.
 	engine, err := c.Engine(req.Dataset)
 	if err != nil {
 		if c.registry != nil && !c.registry.Has(req.Dataset) {
-			return nil, nil, cluster.Cluster{}, fmt.Errorf("core: dataset %q has no trained GHN; submit it for offline training first", req.Dataset)
+			return nil, nil, cluster.Cluster{}, fmt.Errorf("core: %w %q (no trained GHN; submit it for offline training first)", ErrNoEngine, req.Dataset)
 		}
 		return nil, nil, cluster.Cluster{}, err
 	}
@@ -123,6 +195,7 @@ func (c *Controller) checkRequest(req PredictRequest) (*InferenceEngine, *graph.
 	}
 
 	var cl cluster.Cluster
+	col := c.Collector()
 	switch {
 	case req.NumServers > 0:
 		specName := req.ServerSpec
@@ -134,10 +207,10 @@ func (c *Controller) checkRequest(req PredictRequest) (*InferenceEngine, *graph.
 			return nil, nil, cluster.Cluster{}, err
 		}
 		cl = cluster.Homogeneous(req.NumServers, spec)
-	case c.Collector != nil:
-		cl = c.Collector.Cluster()
+	case col != nil:
+		cl = col.Cluster()
 		if cl.Size() == 0 {
-			return nil, nil, cluster.Cluster{}, fmt.Errorf("core: live cluster inventory is empty")
+			return nil, nil, cluster.Cluster{}, fmt.Errorf("core: %w", ErrEmptyInventory)
 		}
 	default:
 		return nil, nil, cluster.Cluster{}, fmt.Errorf("core: request needs num_servers > 0 (no resource collector attached)")
@@ -162,11 +235,14 @@ type BatchRequest struct {
 	Requests []PredictRequest `json:"requests"`
 }
 
-// BatchItem is one request's outcome; failed items carry Error and leave
-// the prediction zero, so one bad request does not fail the batch.
+// BatchItem is one request's outcome; failed items carry Error plus the
+// status Code the same failure would produce on /v1/predict, and leave the
+// prediction zero, so one bad request does not fail the batch and clients
+// can still distinguish bad input (400/404) from a degraded server (503).
 type BatchItem struct {
 	PredictResponse
 	Error string `json:"error,omitempty"`
+	Code  int    `json:"code,omitempty"`
 }
 
 // BatchResponse is the ordered list of per-request outcomes.
@@ -179,13 +255,19 @@ func (c *Controller) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	maxBody, maxItems := c.limits()
 	var req BatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+		httpError(w, decodeStatus(err), "invalid JSON: "+err.Error())
 		return
 	}
 	if len(req.Requests) == 0 {
 		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Requests) > maxItems {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds the %d-item limit; split the request", len(req.Requests), maxItems))
 		return
 	}
 	resp := BatchResponse{Results: make([]BatchItem, len(req.Requests))}
@@ -219,12 +301,12 @@ func (c *Controller) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (c *Controller) predictOne(pr PredictRequest, item *BatchItem) {
 	engine, g, cl, err := c.checkRequest(pr)
 	if err != nil {
-		item.Error = err.Error()
+		item.Error, item.Code = err.Error(), checkStatus(err)
 		return
 	}
 	secs, err := engine.Predict(g, cl)
 	if err != nil {
-		item.Error = err.Error()
+		item.Error, item.Code = err.Error(), http.StatusInternalServerError
 		return
 	}
 	model := pr.Model
@@ -245,14 +327,15 @@ func (c *Controller) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	maxBody, _ := c.limits()
 	var req PredictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+		httpError(w, decodeStatus(err), "invalid JSON: "+err.Error())
 		return
 	}
 	engine, g, cl, err := c.checkRequest(req)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		httpError(w, checkStatus(err), err.Error())
 		return
 	}
 	secs, err := engine.Predict(g, cl)
@@ -296,8 +379,8 @@ func (c *Controller) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if c.registry != nil {
 		resp.GHNDatasets = c.registry.Datasets()
 	}
-	if c.Collector != nil {
-		resp.LiveServers = len(c.Collector.Snapshot())
+	if col := c.Collector(); col != nil {
+		resp.LiveServers = len(col.Snapshot())
 	}
 	writeJSON(w, resp)
 }
@@ -308,6 +391,30 @@ func (c *Controller) handleModels(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string][]string{"models": graph.Zoo()})
+}
+
+// checkStatus maps a Task Checker failure to its HTTP status: unknown
+// dataset → 404, empty live inventory → 503 (retryable operational state),
+// anything else → 400 (bad input).
+func checkStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrNoEngine):
+		return http.StatusNotFound
+	case errors.Is(err, ErrEmptyInventory):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// decodeStatus distinguishes an over-limit body (413, the MaxBytesReader
+// tripped) from malformed JSON (400).
+func decodeStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -239,23 +239,27 @@ func TestControllerTaskCheckerRejections(t *testing.T) {
 	srv := httptest.NewServer(ctrl.Handler())
 	defer srv.Close()
 
-	cases := []PredictRequest{
-		{},                                      // missing dataset
-		{Dataset: "cifar10"},                    // missing model
-		{Dataset: "imagenet", Model: "x"},       // no engine and no GHN → offline-training message
-		{Dataset: "cifar10", Model: "x"},        // unknown model
-		{Dataset: "cifar10", Model: "resnet18"}, // no servers, no collector
-		{Dataset: "cifar10", Model: "resnet18", NumServers: 2, ServerSpec: "nope"},
+	cases := []struct {
+		req  PredictRequest
+		want int
+	}{
+		{PredictRequest{}, http.StatusBadRequest},                   // missing dataset
+		{PredictRequest{Dataset: "cifar10"}, http.StatusBadRequest}, // missing model
+		// No engine and no GHN: the client named an unknown dataset → 404.
+		{PredictRequest{Dataset: "imagenet", Model: "x"}, http.StatusNotFound},
+		{PredictRequest{Dataset: "cifar10", Model: "x"}, http.StatusBadRequest},        // unknown model
+		{PredictRequest{Dataset: "cifar10", Model: "resnet18"}, http.StatusBadRequest}, // no servers, no collector
+		{PredictRequest{Dataset: "cifar10", Model: "resnet18", NumServers: 2, ServerSpec: "nope"}, http.StatusBadRequest},
 	}
-	for i, req := range cases {
-		body, _ := json.Marshal(req)
+	for i, tc := range cases {
+		body, _ := json.Marshal(tc.req)
 		resp, err := http.Post(srv.URL+"/v1/predict", "application/json", bytes.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("case %d: status = %d, want 400", i, resp.StatusCode)
+		if resp.StatusCode != tc.want {
+			t.Errorf("case %d: status = %d, want %d", i, resp.StatusCode, tc.want)
 		}
 	}
 
@@ -337,7 +341,7 @@ func TestControllerWithLiveCollector(t *testing.T) {
 	}
 
 	ctrl := NewController(NewGHNRegistry(), e)
-	ctrl.Collector = col
+	ctrl.SetCollector(col)
 	srv := httptest.NewServer(ctrl.Handler())
 	defer srv.Close()
 

@@ -30,8 +30,10 @@ type InferenceEngine struct {
 	// cache is the content-addressed embedding cache: keyed by
 	// graph.Fingerprint(), so renamed, modified, and anonymous graphs all
 	// resolve correctly (a name-keyed cache returns stale embeddings when
-	// two different graphs share a zoo name).
-	cache map[string][]float64
+	// two different graphs share a zoo name). It is size-capped with
+	// deterministic FIFO eviction so a stream of distinct custom graphs
+	// cannot exhaust memory (DESIGN.md §8).
+	cache *embedCache
 	// The Confidence reference set, precomputed once in SetReference:
 	// refNames is sorted so the best-match scan is deterministic, refRaw
 	// holds the embeddings as given (persisted by Save), refCentered holds
@@ -50,8 +52,25 @@ func NewInferenceEngine(dataset string, g *ghn.GHN, model regress.Regressor) *In
 		dataset: dataset,
 		ghn:     g,
 		model:   model,
-		cache:   make(map[string][]float64),
+		cache:   newEmbedCache(DefaultEmbeddingCacheSize),
 	}
+}
+
+// SetEmbeddingCacheSize rebounds the embedding cache to at most n entries
+// (n <= 0 removes the bound). The cache is cleared: embeddings are pure
+// functions of (weights, graph), so dropping them affects latency only,
+// never results. Safe to call concurrently with predictions.
+func (e *InferenceEngine) SetEmbeddingCacheSize(n int) {
+	e.mu.Lock()
+	e.cache = newEmbedCache(n)
+	e.mu.Unlock()
+}
+
+// EmbeddingCacheLen reports the number of cached embeddings.
+func (e *InferenceEngine) EmbeddingCacheLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cache.len()
 }
 
 // Dataset returns the dataset type this engine was trained for.
@@ -74,7 +93,7 @@ func (e *InferenceEngine) Embedding(g *graph.Graph) ([]float64, error) {
 // hash once up front).
 func (e *InferenceEngine) embedding(g *graph.Graph, key string) ([]float64, error) {
 	e.mu.Lock()
-	cached, ok := e.cache[key]
+	cached, ok := e.cache.get(key)
 	e.mu.Unlock()
 	if ok {
 		return cached, nil
@@ -84,13 +103,9 @@ func (e *InferenceEngine) embedding(g *graph.Graph, key string) ([]float64, erro
 		return nil, err
 	}
 	e.mu.Lock()
-	if prev, ok := e.cache[key]; ok {
-		// A concurrent caller won the race; keep one canonical slice so
-		// repeated lookups stay pointer-stable.
-		emb = prev
-	} else {
-		e.cache[key] = emb
-	}
+	// put keeps the first-inserted slice when a concurrent caller won the
+	// race, so repeated lookups stay pointer-stable.
+	emb = e.cache.put(key, emb)
 	e.mu.Unlock()
 	return emb, nil
 }
@@ -118,7 +133,7 @@ func (e *InferenceEngine) EmbedAll(graphs []*graph.Graph) ([][]float64, error) {
 			return nil, fmt.Errorf("core: nil graph at index %d", i)
 		}
 		keys[i] = g.Fingerprint()
-		if emb, ok := e.cache[keys[i]]; ok {
+		if emb, ok := e.cache.get(keys[i]); ok {
 			out[i] = emb
 		} else if !seen[keys[i]] {
 			seen[keys[i]] = true
@@ -157,22 +172,23 @@ func (e *InferenceEngine) EmbedAll(graphs []*graph.Graph) ([][]float64, error) {
 		}
 		e.mu.Lock()
 		for i, m := range misses {
-			if prev, ok := e.cache[m.key]; ok {
-				embs[i] = prev
-			} else {
-				e.cache[m.key] = embs[i]
-			}
+			embs[i] = e.cache.put(m.key, embs[i])
 		}
 		e.mu.Unlock()
-	}
 
-	e.mu.Lock()
-	for i := range out {
-		if out[i] == nil {
-			out[i] = e.cache[keys[i]]
+		// Fill remaining slots from this call's own results, not the cache:
+		// with a bounded cache, a miss set larger than the cap evicts early
+		// insertions before this loop runs, and a cache read would yield nil.
+		local := make(map[string][]float64, len(misses))
+		for i, m := range misses {
+			local[m.key] = embs[i]
+		}
+		for i := range out {
+			if out[i] == nil {
+				out[i] = local[keys[i]]
+			}
 		}
 	}
-	e.mu.Unlock()
 	return out, nil
 }
 

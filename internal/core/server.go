@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// ServerOptions tunes the hardened HTTP server wrapping the controller.
+// The zero value selects production-safe defaults; every field is a flag on
+// `predictddl serve` (DESIGN.md §8).
+type ServerOptions struct {
+	// ReadHeaderTimeout bounds how long a client may dawdle over request
+	// headers (slowloris protection). Default 5 s.
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading one full request, body included.
+	// Default 30 s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds handling plus writing one response. Batch
+	// predictions over cold caches dominate, so the default is generous:
+	// 2 min.
+	WriteTimeout time.Duration
+	// IdleTimeout reaps keep-alive connections between requests.
+	// Default 2 min.
+	IdleTimeout time.Duration
+	// ShutdownTimeout caps the graceful drain after Serve's context is
+	// canceled; connections still open past it are closed hard.
+	// Default 30 s.
+	ShutdownTimeout time.Duration
+}
+
+// withDefaults fills unset fields.
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.ReadHeaderTimeout <= 0 {
+		o.ReadHeaderTimeout = 5 * time.Second
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 30 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 2 * time.Minute
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 2 * time.Minute
+	}
+	if o.ShutdownTimeout <= 0 {
+		o.ShutdownTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// Server serves a handler over HTTP with timeouts on every connection phase
+// and signal-driven graceful shutdown — the serving half of the paper's
+// Controller (§III-D) hardened for long-running deployments: no request can
+// hold a connection forever, and stopping the process drains in-flight
+// predictions instead of dropping them.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	opts ServerOptions
+}
+
+// NewServer listens on addr immediately (so ":0" callers can read the bound
+// Addr) and returns a server ready to Serve.
+func NewServer(addr string, handler http.Handler, opts ServerOptions) (*Server, error) {
+	opts = opts.withDefaults()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: server listen: %w", err)
+	}
+	return &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           handler,
+			ReadHeaderTimeout: opts.ReadHeaderTimeout,
+			ReadTimeout:       opts.ReadTimeout,
+			WriteTimeout:      opts.WriteTimeout,
+			IdleTimeout:       opts.IdleTimeout,
+		},
+		opts: opts,
+	}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Serve blocks serving requests until ctx is canceled, then shuts down
+// gracefully: the listener closes, in-flight requests get up to
+// ShutdownTimeout to complete, and only then does Serve return. A nil
+// return means a clean drain; ctx.Err is never reported as a failure.
+func (s *Server) Serve(ctx context.Context) error {
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.srv.Serve(s.ln) }()
+	select {
+	case err := <-serveErr:
+		// The listener failed on its own (not a shutdown we initiated).
+		return fmt.Errorf("core: server: %w", err)
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), s.opts.ShutdownTimeout)
+	defer cancel()
+	err := s.srv.Shutdown(shutdownCtx)
+	// Shutdown closed the listener; Serve's pending return is the benign
+	// ErrServerClosed. Collect it so the goroutine never leaks.
+	if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	if err != nil {
+		return fmt.Errorf("core: server shutdown: %w", err)
+	}
+	return nil
+}
+
+// Close releases the listener without draining. Serve callers normally rely
+// on context cancellation instead; Close exists for abandoning a server
+// that never served.
+func (s *Server) Close() error {
+	if err := s.srv.Close(); err != nil {
+		return fmt.Errorf("core: server close: %w", err)
+	}
+	return nil
+}

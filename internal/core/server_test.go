@@ -1,0 +1,134 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The graceful-shutdown contract: canceling Serve's context closes the
+// listener (new connections refused) but an in-flight /v1/predict/batch
+// drains to a complete 200 response before Serve returns.
+func TestServerGracefulDrainInFlightBatch(t *testing.T) {
+	ctrl := untrainedController(t)
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	inner := ctrl.Handler()
+	// The gate holds the batch handler mid-request so the test controls
+	// exactly when the in-flight work "finishes".
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/predict/batch" {
+			once.Do(func() { close(entered) })
+			<-gate
+		}
+		inner.ServeHTTP(w, r)
+	})
+
+	srv, err := NewServer("127.0.0.1:0", handler, ServerOptions{ShutdownTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx) }()
+
+	type result struct {
+		resp *http.Response
+		err  error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		body, _ := json.Marshal(BatchRequest{Requests: []PredictRequest{
+			{Dataset: "cifar10", Model: "resnet18", NumServers: 1},
+		}})
+		resp, err := http.Post("http://"+srv.Addr()+"/v1/predict/batch", "application/json", bytes.NewReader(body))
+		resCh <- result{resp, err}
+	}()
+
+	<-entered // the batch request is in flight
+	cancel()  // begin graceful shutdown
+
+	// The listener must close promptly: poll until new dials are refused.
+	refusedBy := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", srv.Addr(), time.Second)
+		if err != nil {
+			break
+		}
+		conn.Close()
+		if time.Now().After(refusedBy) {
+			t.Fatal("listener still accepting connections after shutdown began")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// But Serve must still be draining the gated request.
+	select {
+	case err := <-serveDone:
+		t.Fatalf("Serve returned before the in-flight request finished (err=%v)", err)
+	default:
+	}
+
+	close(gate) // let the in-flight request complete
+	res := <-resCh
+	if res.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", res.err)
+	}
+	defer res.resp.Body.Close()
+	if res.resp.StatusCode != http.StatusOK {
+		t.Fatalf("drained request status = %d, want 200", res.resp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(res.resp.Body).Decode(&br); err != nil {
+		t.Fatalf("drained response truncated: %v", err)
+	}
+	if len(br.Results) != 1 {
+		t.Fatalf("drained response results = %d, want 1", len(br.Results))
+	}
+
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve after clean drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after the drain completed")
+	}
+}
+
+func TestServerAddrAndClose(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", http.NotFoundHandler(), ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := net.SplitHostPort(srv.Addr()); err != nil {
+		t.Fatalf("Addr() = %q: %v", srv.Addr(), err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Serving a closed server fails immediately instead of hanging.
+	if err := srv.Serve(context.Background()); err == nil {
+		t.Fatal("Serve on a closed server returned nil")
+	}
+}
+
+func TestServerOptionDefaults(t *testing.T) {
+	o := ServerOptions{}.withDefaults()
+	if o.ReadHeaderTimeout <= 0 || o.ReadTimeout <= 0 || o.WriteTimeout <= 0 ||
+		o.IdleTimeout <= 0 || o.ShutdownTimeout <= 0 {
+		t.Fatalf("zero-value options left a timeout unset: %+v", o)
+	}
+	// Explicit values survive.
+	o = ServerOptions{ReadTimeout: time.Second}.withDefaults()
+	if o.ReadTimeout != time.Second {
+		t.Fatalf("explicit ReadTimeout overwritten: %v", o.ReadTimeout)
+	}
+}
