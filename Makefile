@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet ddlvet bench smoke verify
+.PHONY: all build test race vet ddlvet bench smoke cover fuzz verify
 
 all: verify
 
@@ -34,4 +34,18 @@ bench:
 smoke:
 	$(GO) run ./examples/livecluster
 
-verify: vet build ddlvet test race smoke
+# Per-package coverage table with an 80% floor on the serving path
+# (internal/core, internal/cluster, internal/obs).
+cover:
+	./scripts/cover.sh
+
+# Short fuzz pass over every target: the request decoders behind
+# /v1/predict and /v1/predict/batch, and the collector's wire-frame codec.
+# CI runs this; long exploratory sessions use `go test -fuzz` directly.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzPredictRequest -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzBatchRequest -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME)
+
+verify: vet build ddlvet test race smoke cover

@@ -21,6 +21,7 @@ import (
 	"predictddl/internal/experiments"
 	"predictddl/internal/ghn"
 	"predictddl/internal/graph"
+	"predictddl/internal/obs"
 	"predictddl/internal/regress"
 	"predictddl/internal/simulator"
 	"predictddl/internal/tensor"
@@ -417,6 +418,23 @@ func abs(x float64) float64 {
 
 func BenchmarkGHNEmbedResNet50(b *testing.B) {
 	g := ghn.New(ghn.Config{}, tensor.NewRNG(1))
+	gr := graph.MustBuild("resnet50", graph.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Embed(gr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGHNEmbedResNet50Instrumented is the same embed loop with the
+// obs registry attached — the delta against BenchmarkGHNEmbedResNet50
+// bounds the instrumentation overhead on the embed hot path (the latency
+// histogram's two clock reads and two atomic adds; budget < 2%, DESIGN.md
+// §9).
+func BenchmarkGHNEmbedResNet50Instrumented(b *testing.B) {
+	g := ghn.New(ghn.Config{}, tensor.NewRNG(1))
+	g.SetMetrics(ghn.NewMetrics(obs.NewRegistry(nil)))
 	gr := graph.MustBuild("resnet50", graph.DefaultConfig())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -7,7 +7,7 @@
 //
 //	ddlbench [-fig all|1|2|5|6|9|10|11|12|13|baselines|hetero|sharedghn|confidence]
 //	         [-seed N] [-quick] [-dump-campaign points.csv]
-//	         [-ghn-batch N] [-ghn-parallel N] [-batch N]
+//	         [-ghn-batch N] [-ghn-parallel N] [-batch N] [-metrics]
 //
 // -quick downsizes the lab (fewer GHN training graphs, fewer cluster
 // sizes) for a fast smoke run; -dump-campaign exports the CIFAR-10
@@ -18,7 +18,10 @@
 // order, so for a given -ghn-batch the figures are bit-identical at any
 // -ghn-parallel. -batch N skips the figures, trains one quick predictor,
 // and times a batch of N predictions cold (empty embedding cache) and warm
-// against the serial Predict loop.
+// against the serial Predict loop, reporting p50/p99 embed latency from the
+// obs histograms. -metrics instruments the lab with a metrics registry and
+// prints its snapshot (GHN step times, embed latencies) after the figure
+// run; instrumentation never changes figure output.
 package main
 
 import (
@@ -30,8 +33,14 @@ import (
 
 	"predictddl"
 	"predictddl/internal/experiments"
+	"predictddl/internal/obs"
 	"predictddl/internal/simulator"
 )
+
+// clock is the single time source for every ad-hoc measurement in this
+// command; stage timings all flow through obs so ddlbench reports the same
+// histograms the serving path exposes on /v1/metrics.
+var clock obs.Clock = obs.SystemClock{}
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: all, 1, 2, 5, 6, 9, 10, 11, 12, 13, baselines, hetero, sharedghn, confidence")
@@ -41,6 +50,7 @@ func main() {
 	ghnBatch := flag.Int("ghn-batch", 0, "GHN training mini-batch size (0 = per-graph updates)")
 	ghnParallel := flag.Int("ghn-parallel", 0, "GHN training workers per batch (0 = NumCPU, 1 = serial; results are identical either way)")
 	batchDemo := flag.Int("batch", 0, "run the batch-prediction demo over N workloads instead of the figures")
+	metrics := flag.Bool("metrics", false, "print the lab's metrics registry snapshot after the run")
 	flag.Parse()
 
 	if *batchDemo > 0 {
@@ -51,6 +61,9 @@ func main() {
 	lab := experiments.NewLab(*seed)
 	lab.GHNBatchSize = *ghnBatch
 	lab.GHNParallelism = *ghnParallel
+	if *metrics {
+		lab.Obs = obs.NewRegistry(clock)
+	}
 	if *quick {
 		lab.GHNGraphs = 64
 		lab.GHNEpochs = 6
@@ -69,7 +82,7 @@ func main() {
 	}
 
 	want := func(id string) bool { return *fig == "all" || *fig == id }
-	start := time.Now()
+	start := clock.Now()
 	ran := 0
 
 	if want("1") {
@@ -193,7 +206,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	fmt.Printf("\n%d experiment(s) regenerated in %v\n", ran, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("\n%d experiment(s) regenerated in %v\n", ran, obs.Since(clock, start).Round(time.Millisecond))
+	if *metrics {
+		section("Metrics registry snapshot (GHN training + embed instrumentation)")
+		fmt.Print(lab.Obs.Snapshot().Text())
+	}
 }
 
 // runBatchDemo trains a quick predictor and compares a serial Predict loop
@@ -207,7 +224,10 @@ func runBatchDemo(n int, seed int64, ghnBatch, ghnParallel int) error {
 		models[i] = zoo[i%len(zoo)]
 	}
 
-	trainStart := time.Now()
+	// Each predictor gets its own registry, so serial and batch report
+	// independent embed-latency histograms over the same workload set.
+	serialObs := obs.NewRegistry(clock)
+	trainStart := clock.Now()
 	p, err := predictddl.Train(predictddl.Options{
 		Dataset:        "cifar10",
 		GHNGraphs:      64,
@@ -215,31 +235,34 @@ func runBatchDemo(n int, seed int64, ghnBatch, ghnParallel int) error {
 		GHNBatchSize:   ghnBatch,
 		GHNParallelism: ghnParallel,
 		Seed:           seed,
+		Obs:            serialObs,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("trained predictor in %v\n", time.Since(trainStart).Round(time.Millisecond))
+	fmt.Printf("trained predictor in %v\n", obs.Since(clock, trainStart).Round(time.Millisecond))
+	trainedEmbeds := embedCount(serialObs)
 
 	// Serial loop on a fresh engine state is approximated by running it
 	// first: both paths then get one cold and one warm measurement.
-	serialCold := time.Now()
+	serialCold := clock.Now()
 	serial := make([]float64, n)
 	for i, m := range models {
 		if serial[i], err = p.Predict(m, 8); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("serial   cold %8v", time.Since(serialCold).Round(time.Microsecond))
-	serialWarm := time.Now()
+	fmt.Printf("serial   cold %8v", obs.Since(clock, serialCold).Round(time.Microsecond))
+	serialWarm := clock.Now()
 	for i, m := range models {
 		if serial[i], err = p.Predict(m, 8); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("   warm %8v\n", time.Since(serialWarm).Round(time.Microsecond))
+	fmt.Printf("   warm %8v\n", obs.Since(clock, serialWarm).Round(time.Microsecond))
 
 	// A second predictor gives the batch path its own cold cache.
+	batchObs := obs.NewRegistry(clock)
 	pb, err := predictddl.Train(predictddl.Options{
 		Dataset:        "cifar10",
 		GHNGraphs:      64,
@@ -247,21 +270,22 @@ func runBatchDemo(n int, seed int64, ghnBatch, ghnParallel int) error {
 		GHNBatchSize:   ghnBatch,
 		GHNParallelism: ghnParallel,
 		Seed:           seed,
+		Obs:            batchObs,
 	})
 	if err != nil {
 		return err
 	}
-	batchCold := time.Now()
+	batchCold := clock.Now()
 	batch, err := pb.PredictBatch(models, 8)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("batch    cold %8v", time.Since(batchCold).Round(time.Microsecond))
-	batchWarm := time.Now()
+	fmt.Printf("batch    cold %8v", obs.Since(clock, batchCold).Round(time.Microsecond))
+	batchWarm := clock.Now()
 	if batch, err = pb.PredictBatch(models, 8); err != nil {
 		return err
 	}
-	fmt.Printf("   warm %8v\n", time.Since(batchWarm).Round(time.Microsecond))
+	fmt.Printf("   warm %8v\n", obs.Since(clock, batchWarm).Round(time.Microsecond))
 
 	for i := range batch {
 		if batch[i] != serial[i] {
@@ -270,7 +294,31 @@ func runBatchDemo(n int, seed int64, ghnBatch, ghnParallel int) error {
 		}
 	}
 	fmt.Printf("all %d batch predictions bit-identical to the serial loop\n", n)
+	printEmbedLatency("serial", serialObs, trainedEmbeds)
+	printEmbedLatency("batch ", batchObs, trainedEmbeds)
 	return nil
+}
+
+// embedCount reads how many ghn.embed.seconds observations a registry has
+// recorded so far — used to separate training-time embeds from demo embeds.
+func embedCount(r *obs.Registry) uint64 {
+	hv, ok := r.Snapshot().HistogramByName("ghn.embed.seconds")
+	if !ok {
+		return 0
+	}
+	return hv.Count
+}
+
+// printEmbedLatency reports the embed-path latency distribution for one
+// predictor, excluding the offline-training embeds counted in skip. The warm
+// pass never embeds (cache hits), so these are exactly the cold-pass embeds.
+func printEmbedLatency(label string, r *obs.Registry, skip uint64) {
+	hv, ok := r.Snapshot().HistogramByName("ghn.embed.seconds")
+	if !ok || hv.Count <= skip {
+		return
+	}
+	fmt.Printf("%s embeds: %d cold (training pass excluded), all-embed latency p50 %.3gs p99 %.3gs\n",
+		label, hv.Count-skip, hv.Quantile(0.5), hv.Quantile(0.99))
 }
 
 func section(title string) {

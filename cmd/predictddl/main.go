@@ -18,6 +18,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -75,6 +78,7 @@ func usage() {
   predictddl serve   -addr :8080 [-datasets cifar10,tiny-imagenet] [-collector ADDR] [-quick]
                      [-read-timeout 30s] [-write-timeout 2m] [-idle-timeout 2m]
                      [-shutdown-timeout 30s] [-max-body N] [-max-batch N] [-collector-ttl 30s]
+                     [-pprof] [-trace-log]
   predictddl models | datasets | specs`)
 }
 
@@ -190,6 +194,8 @@ func runServe(args []string) error {
 	maxBody := fs.Int64("max-body", core.DefaultMaxBodyBytes, "max POST body bytes")
 	maxBatch := fs.Int("max-batch", core.DefaultMaxBatchItems, "max requests per /v1/predict/batch call")
 	collectorTTL := fs.Duration("collector-ttl", 30*time.Second, "collector registration time-to-live")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	traceLog := fs.Bool("trace-log", true, "log ?trace=1 request traces to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -210,8 +216,16 @@ func runServe(args []string) error {
 	}
 	ctrl := predictddl.NewController(preds...)
 	ctrl.SetLimits(*maxBody, *maxBatch)
+	if *traceLog {
+		ctrl.SetTraceLog(log.New(os.Stderr, "trace: ", log.LstdFlags))
+	}
 	if *collectorAddr != "" {
-		col, err := cluster.NewCollector(*collectorAddr, cluster.CollectorOptions{TTL: *collectorTTL})
+		// The collector reports into the controller's registry, so
+		// /v1/metrics covers the whole serving surface.
+		col, err := cluster.NewCollector(*collectorAddr, cluster.CollectorOptions{
+			TTL: *collectorTTL,
+			Obs: ctrl.Metrics(),
+		})
 		if err != nil {
 			return err
 		}
@@ -219,7 +233,21 @@ func runServe(args []string) error {
 		ctrl.SetCollector(col)
 		fmt.Fprintf(os.Stderr, "resource collector listening on %s\n", col.Addr())
 	}
-	srv, err := core.NewServer(*addr, ctrl.Handler(), core.ServerOptions{
+	handler := ctrl.Handler()
+	if *pprofOn {
+		// Mount the profiler on an explicit mux (never the default one) so
+		// it is opt-in per process; /debug/vars stays on the controller.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Fprintln(os.Stderr, "pprof enabled under /debug/pprof/")
+	}
+	srv, err := core.NewServer(*addr, handler, core.ServerOptions{
 		ReadTimeout:     *readTimeout,
 		WriteTimeout:    *writeTimeout,
 		IdleTimeout:     *idleTimeout,

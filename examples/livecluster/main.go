@@ -22,6 +22,7 @@ import (
 	"predictddl"
 	"predictddl/internal/cluster"
 	"predictddl/internal/core"
+	"predictddl/internal/obs"
 )
 
 func main() {
@@ -44,12 +45,14 @@ func main() {
 	}
 
 	// Online: start the resource collector and attach it to the controller.
-	col, err := cluster.NewCollector("127.0.0.1:0", cluster.CollectorOptions{})
+	// The collector reports into the controller's metrics registry, so the
+	// finale can read the whole run off /v1/metrics.
+	ctrl := predictddl.NewController(p)
+	col, err := cluster.NewCollector("127.0.0.1:0", cluster.CollectorOptions{Obs: ctrl.Metrics()})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer func() { col.Close() }()
-	ctrl := predictddl.NewController(p)
 	ctrl.SetCollector(col)
 	srv := httptest.NewServer(ctrl.Handler())
 	defer srv.Close()
@@ -150,7 +153,7 @@ func main() {
 	if err := col.Close(); err != nil {
 		log.Fatal(err)
 	}
-	col, err = cluster.NewCollector(addr, cluster.CollectorOptions{})
+	col, err = cluster.NewCollector(addr, cluster.CollectorOptions{Obs: ctrl.Metrics()})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -170,9 +173,36 @@ func main() {
 	waitForServers(8)
 	predict("resnet50")
 
+	fmt.Println("\n6) the server's own telemetry saw all of it — /v1/metrics:")
+	mresp, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		log.Fatal(err)
+	}
+	mresp.Body.Close()
+	ok200 := snap.Counter("http.requests.predict.200")
+	rejected := snap.Counter("http.requests.predict.503")
+	hits := snap.Counter("embed.cache.hits")
+	misses := snap.Counter("embed.cache.misses")
+	fmt.Printf("  predict requests: %d ok, %d rejected while the inventory was empty\n", ok200, rejected)
+	fmt.Printf("  embedding cache : %d misses (cold), %d hits (every repeat of the same graph)\n", misses, hits)
+	fmt.Printf("  collector       : %d live agents, %d frames received\n",
+		snap.Gauge("collector.agents.live"), snap.Counter("collector.frames.in"))
+	// This run doubles as the CI smoke gate for the observability layer:
+	// a serving path that answered requests must show them in its own
+	// telemetry (non-zero request counters and cache traffic).
+	if ok200 == 0 || rejected == 0 || hits == 0 || misses == 0 {
+		log.Fatalf("metrics snapshot missing expected traffic: ok=%d rejected=%d hits=%d misses=%d",
+			ok200, rejected, hits, misses)
+	}
+
 	for _, a := range agents {
 		a.Close()
 	}
 	fmt.Println("\ndone — same request, five different answers, zero cluster descriptions sent by")
-	fmt.Println("the client, and a collector restart survived without restarting a single agent")
+	fmt.Println("the client, a collector restart survived without restarting a single agent, and")
+	fmt.Println("the server's own /v1/metrics accounted for every request")
 }

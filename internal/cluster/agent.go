@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"predictddl/internal/obs"
 )
 
 // AgentOptions tunes the client side of the resource collector.
@@ -38,6 +40,10 @@ type AgentOptions struct {
 	Dial func(addr string, timeout time.Duration) (net.Conn, error)
 	// Sleep overrides backoff waiting (tests). Defaults to time.Sleep.
 	Sleep func(time.Duration)
+	// Obs, when non-nil, registers the agent metric family
+	// (agent.frames.out, agent.reconnects) on the given registry. Nil
+	// disables instrumentation.
+	Obs *obs.Registry
 }
 
 func (o AgentOptions) withDefaults() AgentOptions {
@@ -80,6 +86,12 @@ type Agent struct {
 	conn net.Conn
 	enc  *json.Encoder
 	rng  *rand.Rand // seeded jitter source, guarded by mu
+
+	// Observability hooks (nil-safe no-ops without AgentOptions.Obs):
+	// frames successfully written, and connections re-established after a
+	// drop.
+	framesOut  *obs.Counter
+	reconnects *obs.Counter
 }
 
 // DialAgent connects to a collector and registers this server with the
@@ -105,6 +117,10 @@ func DialAgentOptions(addr, hostname string, spec ServerSpec, opts AgentOptions)
 		spec:     spec,
 		opts:     opts,
 		rng:      rand.New(rand.NewSource(opts.Seed)),
+	}
+	if opts.Obs != nil {
+		a.framesOut = opts.Obs.Counter("agent.frames.out")
+		a.reconnects = opts.Obs.Counter("agent.reconnects")
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -134,6 +150,7 @@ func (a *Agent) connectLocked() error {
 		return err
 	}
 	a.conn, a.enc = conn, enc
+	a.framesOut.Inc() // the register frame just written
 	return nil
 }
 
@@ -196,6 +213,7 @@ func (a *Agent) Report(cpuUtil, gpuUtil, diskLoad float64, availableCores int) e
 			err = cerr
 			continue
 		}
+		a.reconnects.Inc() // connection re-established after a drop
 		if err = a.sendLocked(m); err == nil {
 			return nil
 		}
@@ -213,6 +231,7 @@ func (a *Agent) sendLocked(m wireMessage) error {
 		a.dropConnLocked()
 		return fmt.Errorf("cluster: agent report: %w", err)
 	}
+	a.framesOut.Inc()
 	return nil
 }
 

@@ -2,14 +2,14 @@ package cluster
 
 import (
 	"bufio"
-	"bytes"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
 	"time"
+
+	"predictddl/internal/obs"
 )
 
 // wire message types exchanged between agents and the collector. The
@@ -50,13 +50,21 @@ type Collector struct {
 
 	mu        sync.Mutex
 	servers   map[string]*ServerInfo
-	owners    map[string]net.Conn  // hostname → the connection that registered it
+	owners    map[string]net.Conn   // hostname → the connection that registered it
 	conns     map[net.Conn]struct{} // live connections, closed on shutdown
 	acceptErr error                 // last non-shutdown accept failure, surfaced by Close
 
 	sem    chan struct{} // bounds concurrent connection handlers
 	wg     sync.WaitGroup
 	closed chan struct{}
+
+	// Observability hooks (nil-safe no-ops without a registry; see
+	// CollectorOptions.Obs): collector.agents.live tracks registered owners,
+	// collector.frames.in counts valid frames, collector.conns.reaped counts
+	// connections dropped by the TTL read deadline.
+	liveAgents *obs.Gauge
+	framesIn   *obs.Counter
+	reaped     *obs.Counter
 }
 
 // CollectorOptions tunes a Collector.
@@ -72,6 +80,10 @@ type CollectorOptions struct {
 	// frames drop the connection instead of buffering without bound.
 	// Defaults to 64 KiB.
 	MaxMessageBytes int
+	// Obs, when non-nil, registers the collector metric family
+	// (collector.agents.live, collector.frames.in, collector.conns.reaped)
+	// on the given registry. Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 // NewCollector listens on addr (e.g. "127.0.0.1:0") and starts accepting
@@ -100,6 +112,11 @@ func NewCollector(addr string, opts CollectorOptions) (*Collector, error) {
 		conns:   make(map[net.Conn]struct{}),
 		sem:     make(chan struct{}, opts.MaxHandlers),
 		closed:  make(chan struct{}),
+	}
+	if opts.Obs != nil {
+		c.liveAgents = opts.Obs.Gauge("collector.agents.live")
+		c.framesIn = opts.Obs.Counter("collector.frames.in")
+		c.reaped = opts.Obs.Counter("collector.conns.reaped")
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
@@ -170,6 +187,7 @@ func (c *Collector) handle(conn net.Conn) {
 			// immediately; the inventory entry itself stays until TTL (its
 			// data was valid when last seen).
 			delete(c.owners, owned)
+			c.syncLiveLocked()
 		}
 		c.mu.Unlock()
 		conn.Close()
@@ -187,21 +205,25 @@ func (c *Collector) handle(conn net.Conn) {
 			return
 		}
 		if !sc.Scan() {
-			return // EOF, expired deadline, oversized frame, or transport error
+			// EOF, expired deadline, oversized frame, or transport error.
+			var ne net.Error
+			if errors.As(sc.Err(), &ne) && ne.Timeout() {
+				c.reaped.Inc() // silent agent hit the TTL read deadline
+			}
+			return
 		}
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
+		// The scanner already enforces maxMsg; decodeFrame re-checks for its
+		// own callers (fuzzing drives it without a scanner in front).
+		m, err := decodeFrame(sc.Bytes(), c.maxMsg)
+		if errors.Is(err, errFrameEmpty) {
 			continue
 		}
-		var m wireMessage
-		if err := json.Unmarshal(line, &m); err != nil {
+		if err != nil {
 			return // malformed frame: drop the connection
 		}
+		c.framesIn.Inc()
 		switch m.Type {
 		case msgRegister:
-			if m.Hostname == "" || m.Spec.Validate() != nil {
-				return // malformed registration: drop the connection
-			}
 			if !c.register(conn, &owned, m) {
 				return // hostname is owned by another live connection
 			}
@@ -213,10 +235,14 @@ func (c *Collector) handle(conn net.Conn) {
 		case msgBye:
 			c.removeOwned(conn, owned)
 			return
-		default:
-			return
 		}
 	}
+}
+
+// syncLiveLocked refreshes the live-agents gauge from the owner table; the
+// caller holds c.mu.
+func (c *Collector) syncLiveLocked() {
+	c.liveAgents.Set(int64(len(c.owners)))
 }
 
 // register records conn as the owner of m.Hostname and upserts its entry.
@@ -237,6 +263,7 @@ func (c *Collector) register(conn net.Conn, owned *string, m wireMessage) bool {
 	c.owners[m.Hostname] = conn
 	*owned = m.Hostname
 	c.upsertLocked(m)
+	c.syncLiveLocked()
 	return true
 }
 
@@ -273,6 +300,7 @@ func (c *Collector) removeOwned(conn net.Conn, hostname string) {
 	if c.owners[hostname] == conn {
 		delete(c.owners, hostname)
 		delete(c.servers, hostname)
+		c.syncLiveLocked()
 	}
 }
 
@@ -332,4 +360,3 @@ func (c *Collector) Close() error {
 	}
 	return err
 }
-

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// This file is the wire-frame codec of the collector protocol: one
+// newline-delimited JSON message per frame (DESIGN.md §7). The decode path
+// is a pure function so the fuzz target (frame_test.go) can drive it with
+// arbitrary bytes — oversize frames, truncated JSON, invalid UTF-8 — and
+// assert it never panics and never admits an invalid message.
+
+// errFrameEmpty reports a blank frame (whitespace only). Blank frames are
+// tolerated as keep-alive noise: the collector skips them rather than
+// dropping the connection.
+var errFrameEmpty = errors.New("cluster: empty frame")
+
+// decodeFrame parses one wire frame, enforcing the message-size cap and
+// per-type validity rules:
+//
+//   - frames longer than maxBytes are rejected before any JSON work, so a
+//     hostile peer cannot make the decoder allocate beyond the cap
+//     (maxBytes <= 0 disables the check for callers with their own cap);
+//   - register frames must carry a hostname and a valid hardware spec;
+//   - update and bye frames must carry a hostname;
+//   - unknown message types are rejected.
+//
+// It returns errFrameEmpty for blank frames (callers skip those) and a
+// descriptive error for every other rejection (callers drop the
+// connection).
+func decodeFrame(line []byte, maxBytes int) (wireMessage, error) {
+	if maxBytes > 0 && len(line) > maxBytes {
+		return wireMessage{}, fmt.Errorf("cluster: frame of %d bytes exceeds the %d-byte cap", len(line), maxBytes)
+	}
+	line = bytes.TrimSpace(line)
+	if len(line) == 0 {
+		return wireMessage{}, errFrameEmpty
+	}
+	var m wireMessage
+	if err := json.Unmarshal(line, &m); err != nil {
+		return wireMessage{}, fmt.Errorf("cluster: malformed frame: %w", err)
+	}
+	switch m.Type {
+	case msgRegister:
+		if m.Hostname == "" {
+			return wireMessage{}, fmt.Errorf("cluster: register frame missing hostname")
+		}
+		if err := m.Spec.Validate(); err != nil {
+			return wireMessage{}, fmt.Errorf("cluster: register frame spec: %w", err)
+		}
+	case msgUpdate, msgBye:
+		if m.Hostname == "" {
+			return wireMessage{}, fmt.Errorf("cluster: %s frame missing hostname", m.Type)
+		}
+	default:
+		return wireMessage{}, fmt.Errorf("cluster: unknown frame type %q", m.Type)
+	}
+	return m, nil
+}
+
+// encodeFrame renders a message as one wire frame including the trailing
+// newline — the exact bytes an agent's json.Encoder emits, shared with
+// tests and the fuzz seed corpus.
+func encodeFrame(m wireMessage) ([]byte, error) {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encode frame: %w", err)
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// mustFrame encodes a wire message or fails the test.
+func mustFrame(t testing.TB, m wireMessage) []byte {
+	t.Helper()
+	b, err := encodeFrame(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDecodeFrameRoundTrip(t *testing.T) {
+	cases := []wireMessage{
+		{Type: msgRegister, Hostname: "node-1", Spec: SpecGPUP100()},
+		{Type: msgUpdate, Hostname: "node-1", CPUUtil: 0.5, GPUUtil: 0.25, DiskLoad: 0.1, AvailableCores: 12},
+		{Type: msgBye, Hostname: "node-1"},
+	}
+	for _, want := range cases {
+		t.Run(want.Type, func(t *testing.T) {
+			got, err := decodeFrame(mustFrame(t, want), 64<<10)
+			if err != nil {
+				t.Fatalf("decodeFrame: %v", err)
+			}
+			if got.Type != want.Type || got.Hostname != want.Hostname {
+				t.Fatalf("round trip mismatch: got %+v want %+v", got, want)
+			}
+			if want.Type == msgUpdate && got.AvailableCores != want.AvailableCores {
+				t.Fatalf("update payload lost: got %+v", got)
+			}
+		})
+	}
+}
+
+func TestDecodeFrameRejections(t *testing.T) {
+	reg := mustFrame(t, wireMessage{Type: msgRegister, Hostname: "h", Spec: SpecGPUP100()})
+	cases := []struct {
+		name string
+		line []byte
+		max  int
+		want string // substring of the error
+	}{
+		{"oversize", reg, 16, "exceeds the 16-byte cap"},
+		{"truncated json", reg[:len(reg)/2], 64 << 10, "malformed frame"},
+		{"invalid utf8", []byte("\xff\xfe{"), 64 << 10, "malformed frame"},
+		{"not json", []byte("hello world\n"), 64 << 10, "malformed frame"},
+		{"unknown type", []byte(`{"type":"gossip","hostname":"h"}`), 64 << 10, `unknown frame type "gossip"`},
+		{"register without hostname", []byte(`{"type":"register"}`), 64 << 10, "missing hostname"},
+		{"register with invalid spec", []byte(`{"type":"register","hostname":"h","spec":{"Name":"x"}}`), 64 << 10, "spec"},
+		{"update without hostname", []byte(`{"type":"update"}`), 64 << 10, "missing hostname"},
+		{"bye without hostname", []byte(`{"type":"bye"}`), 64 << 10, "missing hostname"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := decodeFrame(tc.line, tc.max)
+			if err == nil {
+				t.Fatalf("decodeFrame(%q) accepted, want error containing %q", tc.line, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("decodeFrame(%q) = %v, want error containing %q", tc.line, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeFrameEmpty(t *testing.T) {
+	for _, line := range [][]byte{nil, {}, []byte("   \t  \n")} {
+		if _, err := decodeFrame(line, 64<<10); !errors.Is(err, errFrameEmpty) {
+			t.Fatalf("decodeFrame(%q) = %v, want errFrameEmpty", line, err)
+		}
+	}
+}
+
+func TestDecodeFrameNoCap(t *testing.T) {
+	// maxBytes <= 0 disables the size check for callers with their own cap.
+	long := mustFrame(t, wireMessage{Type: msgBye, Hostname: strings.Repeat("h", 4096)})
+	if _, err := decodeFrame(long, 0); err != nil {
+		t.Fatalf("decodeFrame with cap disabled: %v", err)
+	}
+}
+
+// FuzzFrameDecode drives the wire-frame decoder with arbitrary bytes and
+// caps — oversize frames, truncated JSON, invalid UTF-8 — asserting the
+// collector-facing contract: never panic, never allocate past the cap, and
+// never admit a message that violates the per-type validity rules.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(mustFrame(f, wireMessage{Type: msgRegister, Hostname: "node-1", Spec: SpecGPUP100()}), 64<<10)
+	f.Add(mustFrame(f, wireMessage{Type: msgUpdate, Hostname: "node-1", CPUUtil: 0.9, AvailableCores: 4}), 64<<10)
+	f.Add(mustFrame(f, wireMessage{Type: msgBye, Hostname: "node-1"}), 64<<10)
+	f.Add([]byte(`{"type":"register","hostname":"h","spec":{}}`), 64<<10)
+	f.Add([]byte("\xff\xfe\xfd"), 64<<10)
+	f.Add([]byte(`{"type":`), 64<<10)
+	f.Add(bytes.Repeat([]byte("a"), 256), 16)
+	f.Add([]byte(" \t \n"), 1024)
+	f.Fuzz(func(t *testing.T, line []byte, maxBytes int) {
+		m, err := decodeFrame(line, maxBytes)
+		if maxBytes > 0 && len(line) > maxBytes && err == nil {
+			t.Fatalf("frame of %d bytes admitted past the %d-byte cap", len(line), maxBytes)
+		}
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case msgRegister:
+			if m.Hostname == "" {
+				t.Fatal("register frame admitted without hostname")
+			}
+			if verr := m.Spec.Validate(); verr != nil {
+				t.Fatalf("register frame admitted with invalid spec: %v", verr)
+			}
+		case msgUpdate, msgBye:
+			if m.Hostname == "" {
+				t.Fatalf("%s frame admitted without hostname", m.Type)
+			}
+		default:
+			t.Fatalf("unknown frame type %q admitted", m.Type)
+		}
+	})
+}

@@ -145,9 +145,9 @@ func TestBatchItemCodes(t *testing.T) {
 	defer srv.Close()
 
 	req := BatchRequest{Requests: []PredictRequest{
-		{Dataset: "nope", Model: "resnet18", NumServers: 1},  // unknown dataset
-		{Dataset: "cifar10", Model: "resnet18"},              // empty inventory
-		{Dataset: "cifar10", Model: "x", NumServers: 1},      // bad input
+		{Dataset: "nope", Model: "resnet18", NumServers: 1},    // unknown dataset
+		{Dataset: "cifar10", Model: "resnet18"},                // empty inventory
+		{Dataset: "cifar10", Model: "x", NumServers: 1},        // bad input
 		{Dataset: "cifar10", Model: "resnet18", NumServers: 1}, // unfitted regressor
 	}}
 	body, _ := json.Marshal(req)

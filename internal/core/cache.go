@@ -1,5 +1,7 @@
 package core
 
+import "predictddl/internal/obs"
+
 // DefaultEmbeddingCacheSize bounds the engine's embedding cache. Embeddings
 // are a pure function of (GHN weights, graph), so eviction can never change
 // a prediction — only how often one is recomputed. The default comfortably
@@ -23,6 +25,9 @@ type embedCache struct {
 	// the backing array, keeping amortized O(1) eviction without a ring.
 	order []string
 	head  int
+	// evictions, when attached by InferenceEngine.Instrument, counts dropped
+	// entries (nil-safe).
+	evictions *obs.Counter
 }
 
 // newEmbedCache returns a cache bounded to limit entries (<= 0: unbounded).
@@ -50,6 +55,7 @@ func (c *embedCache) put(key string, emb []float64) []float64 {
 			c.order[c.head] = "" // release the string for GC
 			c.head++
 			delete(c.m, oldest)
+			c.evictions.Inc()
 		}
 		if c.head > len(c.order)/2 && c.head > 0 {
 			c.order = append([]string(nil), c.order[c.head:]...)

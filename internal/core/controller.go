@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"sort"
@@ -12,6 +13,7 @@ import (
 
 	"predictddl/internal/cluster"
 	"predictddl/internal/graph"
+	"predictddl/internal/obs"
 )
 
 // Admission-control defaults (DESIGN.md §8). Both are per-request ceilings:
@@ -53,6 +55,13 @@ type Controller struct {
 	// Admission limits, guarded by mu (see SetLimits).
 	maxBodyBytes  int64
 	maxBatchItems int
+
+	// metrics is the observability registry (never nil; see metrics.go),
+	// traceLog optionally receives server-side trace lines; both guarded by
+	// mu. ids mints request IDs for clients that send none.
+	metrics  *obs.Registry
+	traceLog *log.Logger
+	ids      *obs.IDSource
 }
 
 // NewController returns a controller serving the given engines with the
@@ -63,9 +72,12 @@ func NewController(registry *GHNRegistry, engines ...*InferenceEngine) *Controll
 		registry:      registry,
 		maxBodyBytes:  DefaultMaxBodyBytes,
 		maxBatchItems: DefaultMaxBatchItems,
+		metrics:       obs.NewRegistry(nil),
+		ids:           obs.NewIDSource("req"),
 	}
 	for _, e := range engines {
 		c.engines[e.Dataset()] = e
+		e.Instrument(c.metrics)
 	}
 	return c
 }
@@ -108,11 +120,14 @@ func (c *Controller) limits() (int64, int) {
 	return c.maxBodyBytes, c.maxBatchItems
 }
 
-// AddEngine registers an inference engine for its dataset.
+// AddEngine registers an inference engine for its dataset and instruments
+// it against the controller's metrics registry.
 func (c *Controller) AddEngine(e *InferenceEngine) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.engines[e.Dataset()] = e
+	reg := c.metrics
+	c.mu.Unlock()
+	e.Instrument(reg)
 }
 
 // Engine returns the engine for a dataset.
@@ -152,6 +167,9 @@ type PredictResponse struct {
 	NumServers       int     `json:"num_servers"`
 	PredictedSeconds float64 `json:"predicted_seconds"`
 	Regressor        string  `json:"regressor"`
+	// Trace carries the stage-timing breakdown when the request opted in
+	// with ?trace=1 (DESIGN.md §9); omitted otherwise.
+	Trace *obs.TraceReport `json:"trace,omitempty"`
 }
 
 // checkRequest is the Task Checker (Fig. 7 step 3): it validates the
@@ -218,14 +236,19 @@ func (c *Controller) checkRequest(req PredictRequest) (*InferenceEngine, *graph.
 	return engine, g, cl, nil
 }
 
-// Handler returns the HTTP mux implementing the controller API.
+// Handler returns the HTTP mux implementing the controller API. Every
+// endpoint runs behind the observability middleware (metrics.go); the
+// introspection endpoints /v1/metrics and /debug/vars are served raw so
+// scraping them does not perturb the request counters they report.
 func (c *Controller) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/predict", c.handlePredict)
-	mux.HandleFunc("/v1/predict/batch", c.handleBatch)
-	mux.HandleFunc("/v1/batch", c.handleBatch) // legacy alias
-	mux.HandleFunc("/v1/status", c.handleStatus)
-	mux.HandleFunc("/v1/models", c.handleModels)
+	mux.HandleFunc("/v1/predict", c.instrument("predict", c.handlePredict))
+	mux.HandleFunc("/v1/predict/batch", c.instrument("batch", c.handleBatch))
+	mux.HandleFunc("/v1/batch", c.instrument("batch", c.handleBatch)) // legacy alias
+	mux.HandleFunc("/v1/status", c.instrument("status", c.handleStatus))
+	mux.HandleFunc("/v1/models", c.instrument("models", c.handleModels))
+	mux.HandleFunc("/v1/metrics", c.handleMetrics)
+	mux.HandleFunc("/debug/vars", c.handleVars)
 	return mux
 }
 
@@ -248,16 +271,23 @@ type BatchItem struct {
 // BatchResponse is the ordered list of per-request outcomes.
 type BatchResponse struct {
 	Results []BatchItem `json:"results"`
+	// Trace carries the batch-level stage breakdown (decode, fanout) when
+	// the request opted in with ?trace=1; omitted otherwise.
+	Trace *obs.TraceReport `json:"trace,omitempty"`
 }
 
 func (c *Controller) handleBatch(w http.ResponseWriter, r *http.Request) {
+	tr := traceFrom(r)
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	maxBody, maxItems := c.limits()
 	var req BatchRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+	stop := tr.Stage("decode")
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req)
+	stop()
+	if err != nil {
 		httpError(w, decodeStatus(err), "invalid JSON: "+err.Error())
 		return
 	}
@@ -265,6 +295,10 @@ func (c *Controller) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
+	// Record every admitted batch's size — including over-limit ones, which
+	// land in the overflow bucket and show operators who is hitting the cap.
+	c.Metrics().Histogram("http.batch.size", obs.SizeBuckets(DefaultMaxBatchItems)).
+		Observe(float64(len(req.Requests)))
 	if len(req.Requests) > maxItems {
 		httpError(w, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("batch of %d exceeds the %d-item limit; split the request", len(req.Requests), maxItems))
@@ -274,6 +308,7 @@ func (c *Controller) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// Fan the batch out across a worker pool: items are independent (graph
 	// building and GHN embedding dominate) and each worker writes only its
 	// own result slots, so the response stays index-aligned and race-free.
+	stop = tr.Stage("fanout")
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(req.Requests) {
 		workers = len(req.Requests)
@@ -294,6 +329,11 @@ func (c *Controller) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 	wg.Wait()
+	stop()
+	if tr != nil {
+		rep := tr.Report()
+		resp.Trace = &rep
+	}
 	writeJSON(w, resp)
 }
 
@@ -323,22 +363,28 @@ func (c *Controller) predictOne(pr PredictRequest, item *BatchItem) {
 }
 
 func (c *Controller) handlePredict(w http.ResponseWriter, r *http.Request) {
+	tr := traceFrom(r) // nil (and a no-op) unless the request set ?trace=1
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	maxBody, _ := c.limits()
 	var req PredictRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+	stop := tr.Stage("decode")
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req)
+	stop()
+	if err != nil {
 		httpError(w, decodeStatus(err), "invalid JSON: "+err.Error())
 		return
 	}
+	stop = tr.Stage("check")
 	engine, g, cl, err := c.checkRequest(req)
+	stop()
 	if err != nil {
 		httpError(w, checkStatus(err), err.Error())
 		return
 	}
-	secs, err := engine.Predict(g, cl)
+	secs, err := engine.PredictTraced(g, cl, tr)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -347,13 +393,18 @@ func (c *Controller) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if model == "" {
 		model = g.Name
 	}
-	writeJSON(w, PredictResponse{
+	resp := PredictResponse{
 		Dataset:          req.Dataset,
 		Model:            model,
 		NumServers:       cl.Size(),
 		PredictedSeconds: secs,
 		Regressor:        engine.ModelName(),
-	})
+	}
+	if tr != nil {
+		rep := tr.Report()
+		resp.Trace = &rep
+	}
+	writeJSON(w, resp)
 }
 
 // StatusResponse reports controller state.

@@ -10,6 +10,7 @@ import (
 	"predictddl/internal/cluster"
 	"predictddl/internal/ghn"
 	"predictddl/internal/graph"
+	"predictddl/internal/obs"
 	"predictddl/internal/regress"
 	"predictddl/internal/tensor"
 )
@@ -42,6 +43,11 @@ type InferenceEngine struct {
 	refRaw      [][]float64
 	refCentered [][]float64
 	refMean     []float64
+	// cacheHits/cacheMisses are attached by Instrument (nil until then; all
+	// counter methods are nil-safe). The eviction counter lives on the cache
+	// itself, next to the eviction loop.
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
 }
 
 // NewInferenceEngine assembles an engine from a trained GHN and a fitted
@@ -62,8 +68,29 @@ func NewInferenceEngine(dataset string, g *ghn.GHN, model regress.Regressor) *In
 // never results. Safe to call concurrently with predictions.
 func (e *InferenceEngine) SetEmbeddingCacheSize(n int) {
 	e.mu.Lock()
+	evictions := e.cache.evictions // keep the instrumented counter across the swap
 	e.cache = newEmbedCache(n)
+	e.cache.evictions = evictions
 	e.mu.Unlock()
+}
+
+// Instrument attaches the engine to a metrics registry (DESIGN.md §9): the
+// embedding-cache hit/miss/eviction counters, plus the ghn.* family (embed
+// latency, train step time) on the underlying GHN. Counters are shared by
+// name, so several engines on one controller aggregate into one family.
+// Instrumentation never changes prediction results.
+func (e *InferenceEngine) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	hits := r.Counter("embed.cache.hits")
+	misses := r.Counter("embed.cache.misses")
+	evictions := r.Counter("embed.cache.evictions")
+	e.mu.Lock()
+	e.cacheHits, e.cacheMisses = hits, misses
+	e.cache.evictions = evictions
+	e.mu.Unlock()
+	e.ghn.SetMetrics(ghn.NewMetrics(r))
 }
 
 // EmbeddingCacheLen reports the number of cached embeddings.
@@ -94,10 +121,13 @@ func (e *InferenceEngine) Embedding(g *graph.Graph) ([]float64, error) {
 func (e *InferenceEngine) embedding(g *graph.Graph, key string) ([]float64, error) {
 	e.mu.Lock()
 	cached, ok := e.cache.get(key)
+	hits, misses := e.cacheHits, e.cacheMisses
 	e.mu.Unlock()
 	if ok {
+		hits.Inc()
 		return cached, nil
 	}
+	misses.Inc()
 	emb, err := e.ghn.Embed(g)
 	if err != nil {
 		return nil, err
@@ -126,6 +156,7 @@ func (e *InferenceEngine) EmbedAll(graphs []*graph.Graph) ([][]float64, error) {
 	}
 	var misses []missing
 	seen := make(map[string]bool)
+	var nHits, nMisses uint64
 	e.mu.Lock()
 	for i, g := range graphs {
 		if g == nil {
@@ -135,12 +166,19 @@ func (e *InferenceEngine) EmbedAll(graphs []*graph.Graph) ([][]float64, error) {
 		keys[i] = g.Fingerprint()
 		if emb, ok := e.cache.get(keys[i]); ok {
 			out[i] = emb
-		} else if !seen[keys[i]] {
-			seen[keys[i]] = true
-			misses = append(misses, missing{g: g, key: keys[i]})
+			nHits++
+		} else {
+			nMisses++
+			if !seen[keys[i]] {
+				seen[keys[i]] = true
+				misses = append(misses, missing{g: g, key: keys[i]})
+			}
 		}
 	}
+	hitCtr, missCtr := e.cacheHits, e.cacheMisses
 	e.mu.Unlock()
+	hitCtr.Add(nHits)
+	missCtr.Add(nMisses)
 
 	if len(misses) > 0 {
 		workers := runtime.GOMAXPROCS(0)
@@ -208,11 +246,29 @@ func (e *InferenceEngine) Features(g *graph.Graph, c cluster.Cluster) ([]float64
 // the cluster. Negative regressor outputs are clamped to a small positive
 // floor (times are physical quantities).
 func (e *InferenceEngine) Predict(g *graph.Graph, c cluster.Cluster) (float64, error) {
-	feats, err := e.Features(g, c)
+	return e.PredictTraced(g, c, nil)
+}
+
+// PredictTraced is Predict with optional stage timing: the embed and
+// regress stages are recorded on tr. A nil trace is a no-op, so callers
+// thread traces unconditionally; results are identical either way.
+func (e *InferenceEngine) PredictTraced(g *graph.Graph, c cluster.Cluster, tr *obs.Trace) (float64, error) {
+	if g == nil {
+		return 0, fmt.Errorf("core: nil graph")
+	}
+	if err := c.Validate(); err != nil {
+		return 0, fmt.Errorf("core: features: %w", err)
+	}
+	stop := tr.Stage("embed")
+	emb, err := e.Embedding(g)
+	stop()
 	if err != nil {
 		return 0, err
 	}
+	feats := tensor.Concat(emb, c.Features())
+	stop = tr.Stage("regress")
 	pred, err := e.model.Predict(feats)
+	stop()
 	if err != nil {
 		return 0, fmt.Errorf("core: predict %s: %w", g.Name, err)
 	}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// predictStatusValid is the closed set of statuses /v1/predict and
+// /v1/predict/batch may produce for a POST with an arbitrary body against an
+// untrained controller: success, bad input (400), unknown dataset (404),
+// over-limit body or batch (413), and the unfitted regressor failing the
+// prediction itself (500). Anything else — in particular a 200 with no
+// engine fitted, or a panic turning into a lost connection — is a bug.
+func predictStatusValid(code int) bool {
+	switch code {
+	case http.StatusOK,
+		http.StatusBadRequest,
+		http.StatusNotFound,
+		http.StatusRequestEntityTooLarge,
+		http.StatusInternalServerError:
+		return true
+	}
+	return false
+}
+
+// fuzzPost drives one endpoint of the controller mux directly (no network):
+// the handler must not panic, must answer with a status from the valid set,
+// and must always produce a body (the API never replies with an empty 200).
+func fuzzPost(t *testing.T, mux http.Handler, path string, body []byte) {
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if !predictStatusValid(rec.Code) {
+		t.Fatalf("POST %s with body %q: unexpected status %d (body %q)",
+			path, truncate(body), rec.Code, rec.Body.String())
+	}
+	if rec.Body.Len() == 0 {
+		t.Fatalf("POST %s with body %q: status %d with empty body", path, truncate(body), rec.Code)
+	}
+	if _, err := io.Copy(io.Discard, rec.Result().Body); err != nil {
+		t.Fatalf("reading response body: %v", err)
+	}
+}
+
+func truncate(b []byte) []byte {
+	if len(b) > 128 {
+		return b[:128]
+	}
+	return b
+}
+
+// FuzzPredictRequest feeds arbitrary bodies to POST /v1/predict. The seeds
+// mirror the admission-control table tests: valid zoo requests, the
+// mutually-exclusive model/graph pair, missing fields, truncated JSON, and
+// invalid UTF-8.
+func FuzzPredictRequest(f *testing.F) {
+	f.Add([]byte(`{"dataset":"cifar10","model":"resnet18","num_servers":4}`))
+	f.Add([]byte(`{"dataset":"cifar10","model":"resnet18","num_servers":4,"server_spec":"cloudlab-p100"}`))
+	f.Add([]byte(`{"dataset":"nope","model":"resnet18","num_servers":4}`))
+	f.Add([]byte(`{"dataset":"cifar10","num_servers":4}`))
+	f.Add([]byte(`{"dataset":"cifar10","model":"resnet18"}`))
+	f.Add([]byte(`{"dataset":"cifar10","model":"resnet18","graph":{"name":"g"},"num_servers":4}`))
+	f.Add([]byte(`{"dataset":"cifar10","model":"resnet18","num_servers":-1}`))
+	f.Add([]byte(`{"dataset":"cifar10","model":`))
+	f.Add([]byte("\xff\xfe not json"))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+
+	ctrl := untrainedController(f)
+	ctrl.SetLimits(1<<20, 8)
+	mux := ctrl.Handler()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fuzzPost(t, mux, "/v1/predict", body)
+	})
+}
+
+// FuzzBatchRequest feeds arbitrary bodies to POST /v1/predict/batch,
+// covering the batch-specific admission paths on top of the per-item Task
+// Checker: empty batches, over-limit batches, and malformed wrappers.
+func FuzzBatchRequest(f *testing.F) {
+	f.Add([]byte(`{"requests":[{"dataset":"cifar10","model":"resnet18","num_servers":4}]}`))
+	f.Add([]byte(`{"requests":[{"dataset":"cifar10","model":"resnet18","num_servers":4},{"dataset":"nope","model":"x","num_servers":1}]}`))
+	f.Add([]byte(`{"requests":[]}`))
+	f.Add([]byte(`{"requests":[{},{},{},{},{},{},{},{},{},{}]}`))
+	f.Add([]byte(`{"requests":`))
+	f.Add([]byte(`{"requests":{"dataset":"cifar10"}}`))
+	f.Add([]byte("\xff\xfe"))
+	f.Add([]byte(`{}`))
+
+	ctrl := untrainedController(f)
+	ctrl.SetLimits(1<<20, 8) // small batch cap so the fuzzer can reach 413
+	mux := ctrl.Handler()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fuzzPost(t, mux, "/v1/predict/batch", body)
+	})
+}

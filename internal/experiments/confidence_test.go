@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden files under testdata/ from the current
+// code: go test ./internal/experiments -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+func TestRanks(t *testing.T) {
+	mk := func(errs ...float64) []ConfidenceRow {
+		rows := make([]ConfidenceRow, len(errs))
+		for i, e := range errs {
+			rows[i].RelErr = e
+		}
+		return rows
+	}
+	relErr := func(r ConfidenceRow) float64 { return r.RelErr }
+	cases := []struct {
+		name string
+		rows []ConfidenceRow
+		want []float64
+	}{
+		{"already sorted", mk(0.1, 0.2, 0.3), []float64{0, 1, 2}},
+		{"reversed", mk(0.3, 0.2, 0.1), []float64{2, 1, 0}},
+		{"interleaved", mk(0.2, 0.4, 0.1, 0.3), []float64{1, 3, 0, 2}},
+		{"single", mk(0.5), []float64{0}},
+		{"empty", nil, []float64{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := ranks(tc.rows, relErr)
+			if len(got) != len(tc.want) {
+				t.Fatalf("ranks = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("ranks = %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	mk := func(pairs ...[2]float64) []ConfidenceRow {
+		rows := make([]ConfidenceRow, len(pairs))
+		for i, p := range pairs {
+			rows[i].Similarity, rows[i].RelErr = p[0], p[1]
+		}
+		return rows
+	}
+	cases := []struct {
+		name string
+		rows []ConfidenceRow
+		want float64
+	}{
+		// Low similarity lining up with high error is the calibrated case:
+		// rank(-sim) == rank(err) everywhere → ρ = +1.
+		{"perfectly calibrated", mk([2]float64{0.9, 0.1}, [2]float64{0.5, 0.2}, [2]float64{0.1, 0.3}), 1},
+		// High similarity with high error is anti-calibrated → ρ = -1.
+		{"anti-calibrated", mk([2]float64{0.9, 0.3}, [2]float64{0.5, 0.2}, [2]float64{0.1, 0.1}), -1},
+		// ρ for 4 points with one transposition: 1 - 6·2/(4·15) = 0.8.
+		{"one swap", mk([2]float64{0.9, 0.1}, [2]float64{0.7, 0.3}, [2]float64{0.5, 0.2}, [2]float64{0.1, 0.4}), 0.8},
+		// Fewer than 3 rows carries no rank signal.
+		{"two rows", mk([2]float64{0.9, 0.1}, [2]float64{0.1, 0.3}), 0},
+		{"empty", nil, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := spearman(tc.rows); math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("spearman = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestConfidenceRowString(t *testing.T) {
+	s := ConfidenceRow{Model: "resnet18", Closest: "resnet50", Similarity: 0.875, RelErr: 0.123}.String()
+	for _, want := range []string{"resnet18", "resnet50", "0.875", "12.3%"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+// confidenceGolden is the serialized shape of the golden file: the full
+// held-out confidence table plus its rank correlation.
+type confidenceGolden struct {
+	Rows []ConfidenceRow `json:"rows"`
+	Rho  float64         `json:"rho"`
+}
+
+// goldenLab is a deliberately tiny lab for the golden test: 9 models so the
+// 1-in-3 holdout leaves 3 held-out rows (the spearman minimum), and a small
+// GHN so the whole end-to-end run stays in unit-test time.
+func goldenLab() *Lab {
+	l := NewLab(7)
+	l.GHNGraphs = 24
+	l.GHNEpochs = 3
+	l.Models = []string{
+		"alexnet", "vgg11", "resnet18",
+		"resnet50", "mobilenet_v2", "mobilenet_v3_small",
+		"squeezenet1_0", "squeezenet1_1", "vgg16",
+	}
+	l.ServerCounts = []int{2, 4, 8}
+	return l
+}
+
+// TestConfidenceCalibrationGolden pins the full ConfidenceCalibration output
+// — every held-out row and the Spearman ρ — against a checked-in golden
+// file. The pipeline is seeded end to end, so any drift in the GHN, the
+// simulator, the regressor, or the similarity machinery shows up as a diff
+// here. Regenerate deliberately with -update.
+func TestConfidenceCalibrationGolden(t *testing.T) {
+	rows, rho, err := ConfidenceCalibration(goldenLab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := confidenceGolden{Rows: rows, Rho: rho}
+
+	path := filepath.Join("testdata", "confidence_golden.json")
+	if *update {
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d rows, ρ=%.3f)", path, len(rows), rho)
+		return
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	var want confidenceGolden
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("corrupt golden file %s: %v", path, err)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("rows = %d, golden has %d (run -update if this change is intended)", len(got.Rows), len(want.Rows))
+	}
+	for i, w := range want.Rows {
+		g := got.Rows[i]
+		if g.Model != w.Model || g.Closest != w.Closest {
+			t.Errorf("row %d: got %s→%s, golden %s→%s", i, g.Model, g.Closest, w.Model, w.Closest)
+		}
+		// JSON round-trips float64 exactly, so golden comparisons are exact:
+		// the pipeline is bit-deterministic for a fixed seed.
+		if g.Similarity != w.Similarity || g.RelErr != w.RelErr {
+			t.Errorf("row %d (%s): got sim=%v err=%v, golden sim=%v err=%v",
+				i, g.Model, g.Similarity, g.RelErr, w.Similarity, w.RelErr)
+		}
+	}
+	if got.Rho != want.Rho {
+		t.Errorf("rho = %v, golden %v", got.Rho, want.Rho)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"predictddl/internal/cluster"
 	"predictddl/internal/dataset"
 	"predictddl/internal/ghn"
+	"predictddl/internal/obs"
 	"predictddl/internal/simulator"
 )
 
@@ -37,6 +38,10 @@ type Lab struct {
 	// ServerCounts are the campaign cluster sizes (default 1–20, the
 	// paper's range).
 	ServerCounts []int
+	// Obs, when non-nil, instruments the lab's GHN training (step times,
+	// worker-queue depth) and embeds (latency) against this registry.
+	// Instrumentation never changes figure output. Set before first use.
+	Obs *obs.Registry
 
 	mu        sync.Mutex
 	sim       *simulator.Simulator
@@ -90,6 +95,7 @@ func (l *Lab) GHN(d dataset.Dataset) (*ghn.GHN, error) {
 		Parallelism: l.GHNParallelism,
 		Seed:        l.Seed,
 		GraphConfig: d.GraphConfig(),
+		Metrics:     ghn.NewMetrics(l.Obs), // nil-safe: nil registry disables
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: GHN for %s: %w", d.Name, err)

@@ -26,6 +26,7 @@ package ghn
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"predictddl/internal/graph"
 	"predictddl/internal/nn"
@@ -105,6 +106,10 @@ type GHN struct {
 	proj      *nn.Linear  // readout (3d) → fixed-size embedding
 	decoder   *nn.MLP     // per-node head (proxy targets)
 	graphHead *nn.MLP     // graph-level head (proxy targets)
+
+	// metrics holds optional observability hooks (nil when uninstrumented);
+	// the hot path pays one atomic load to check.
+	metrics atomic.Pointer[Metrics]
 }
 
 // New returns a freshly initialized GHN.
@@ -318,6 +323,9 @@ func (g *GHN) gainRow(op graph.OpType) []float64 {
 // needs to separate e.g. ResNet-50 from ResNet-101. The projection keeps
 // the embedding at the paper's fixed dimensionality (e.g. 32).
 func (g *GHN) Embed(gr *graph.Graph) ([]float64, error) {
+	if m := g.metrics.Load(); m != nil && m.EmbedSeconds != nil {
+		defer m.EmbedSeconds.Time(m.clock())()
+	}
 	st, err := g.forward(gr)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,62 @@
+package ghn
+
+import (
+	"predictddl/internal/obs"
+)
+
+// Metrics carries the observability hooks a GHN reports into. The package
+// is ddlvet-deterministic (no direct time.Now), so all timing flows through
+// the injected obs.Clock — production wires obs.SystemClock, tests wire an
+// obs.FakeClock and assert exact bucket counts (DESIGN.md §9).
+//
+// A nil *Metrics (the default) disables instrumentation entirely: the hot
+// path pays a single atomic pointer load.
+type Metrics struct {
+	// Clock supplies timestamps for the histograms below. NewMetrics sets
+	// it to the registry's clock; a zero value falls back to the system
+	// clock.
+	Clock obs.Clock
+	// EmbedSeconds observes the wall time of each Embed call.
+	EmbedSeconds *obs.Histogram
+	// StepSeconds observes the wall time of each optimizer step (one
+	// trainBatch, including the sharded forward/backward passes and the
+	// fixed-order gradient reduction).
+	StepSeconds *obs.Histogram
+	// QueueDepth gauges the number of batch items not yet claimed by a
+	// data-parallel worker — the instantaneous backlog of the training
+	// worker pool.
+	QueueDepth *obs.Gauge
+}
+
+// NewMetrics registers the GHN metric family on r and returns the hooks.
+// Metric names are stable API: ghn.embed.seconds, ghn.train.step.seconds,
+// ghn.train.queue.depth.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Clock:        r.Clock(),
+		EmbedSeconds: r.Histogram("ghn.embed.seconds", obs.LatencyBuckets()),
+		StepSeconds:  r.Histogram("ghn.train.step.seconds", obs.LatencyBuckets()),
+		QueueDepth:   r.Gauge("ghn.train.queue.depth"),
+	}
+}
+
+// clock returns the metrics' clock, defaulting to the system clock so a
+// hand-assembled Metrics with a nil Clock still works.
+func (m *Metrics) clock() obs.Clock {
+	if m.Clock == nil {
+		return obs.SystemClock{}
+	}
+	return m.Clock
+}
+
+// SetMetrics attaches (or, with nil, detaches) observability hooks. Safe to
+// call concurrently with Embed; training runs pick the hooks up at the next
+// optimizer step. Worker replicas created by the training pool never carry
+// metrics — only the master GHN reports, so counts are not inflated by
+// data-parallel fan-out.
+func (g *GHN) SetMetrics(m *Metrics) {
+	g.metrics.Store(m)
+}

@@ -9,6 +9,7 @@ import (
 
 	"predictddl/internal/graph"
 	"predictddl/internal/nn"
+	"predictddl/internal/obs"
 	"predictddl/internal/tensor"
 )
 
@@ -85,6 +86,11 @@ type TrainConfig struct {
 	// fixed graph order before the optimizer step, so worker scheduling
 	// never reaches the arithmetic.
 	Parallelism int
+	// Metrics, when non-nil, attaches observability hooks to the trained
+	// GHN: per-step timing and worker-queue depth during training, embed
+	// latency afterwards. Instrumentation never touches the arithmetic, so
+	// trained weights are bit-identical with or without it.
+	Metrics *Metrics
 }
 
 func (tc TrainConfig) withDefaults() TrainConfig {
@@ -125,6 +131,7 @@ func Train(cfg Config, tc TrainConfig) (*GHN, TrainReport, error) {
 	tc = tc.withDefaults()
 	rng := tensor.NewRNG(tc.Seed)
 	g := New(cfg, rng)
+	g.SetMetrics(tc.Metrics)
 
 	graphs := make([]*graph.Graph, tc.Graphs)
 	for i := range graphs {
@@ -236,6 +243,13 @@ func (g *GHN) cloneArch() *GHN {
 // bit-identical results: both compute one gradient per graph in isolation
 // and reduce them in ascending batch order before clip + Adam.
 func (g *GHN) trainBatch(graphs []*graph.Graph, batch []int, params []*nn.Param, opt nn.Optimizer, clip float64, pool *trainPool, slots gradSlots) (float64, error) {
+	var queueDepth *obs.Gauge
+	if m := g.metrics.Load(); m != nil {
+		if m.StepSeconds != nil {
+			defer m.StepSeconds.Time(m.clock())()
+		}
+		queueDepth = m.QueueDepth
+	}
 	if len(batch) == 1 && pool == nil {
 		// Fast path: a single-graph batch accumulates straight into the
 		// master gradients — numerically identical to the slot path
@@ -254,6 +268,7 @@ func (g *GHN) trainBatch(graphs []*graph.Graph, batch []int, params []*nn.Param,
 		}
 	} else {
 		pool.sync(params)
+		queueDepth.Set(int64(len(batch)))
 		var next int32
 		errs := make([]error, len(pool.workers))
 		var wg sync.WaitGroup
@@ -267,6 +282,7 @@ func (g *GHN) trainBatch(graphs []*graph.Graph, batch []int, params []*nn.Param,
 					if b >= len(batch) {
 						return
 					}
+					queueDepth.Dec() // item claimed: backlog shrinks
 					loss, err := wg2.gradIntoSlot(graphs[batch[b]], wp, slots[b])
 					if err != nil {
 						errs[w] = err

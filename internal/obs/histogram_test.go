@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	// Upper bounds are inclusive: an observation exactly on a bound lands
+	// in that bound's bucket — the deterministic-buckets contract tests
+	// rely on.
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0.5, 0}, {1, 0}, {1.0001, 1}, {2, 1}, {3, 2}, {4, 2}, {4.0001, 3}, {1e9, 3},
+	}
+	for _, tc := range cases {
+		h.Observe(tc.v)
+	}
+	hv := h.snapshot("h")
+	want := []uint64{2, 2, 2, 2}
+	for i, w := range want {
+		if hv.Buckets[i].Count != w {
+			t.Fatalf("bucket %d = %d, want %d (buckets %+v)", i, hv.Buckets[i].Count, w, hv.Buckets)
+		}
+	}
+	if hv.Count != 8 {
+		t.Fatalf("count = %d, want 8", hv.Count)
+	}
+	if !math.IsInf(hv.Buckets[3].UpperBound, 1) {
+		t.Fatalf("overflow bound = %v, want +Inf", hv.Buckets[3].UpperBound)
+	}
+}
+
+func TestHistogramUnsortedBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds did not panic")
+		}
+	}()
+	newHistogram([]float64{1, 1})
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30})
+	// 10 observations uniformly attributed to (10, 20].
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	hv := h.snapshot("h")
+	if got := hv.Quantile(0.5); got != 15 {
+		t.Fatalf("p50 = %v, want 15 (midpoint of the only occupied bucket)", got)
+	}
+	if got := hv.Quantile(1); got != 20 {
+		t.Fatalf("p100 = %v, want 20 (bucket upper bound)", got)
+	}
+	if got := hv.Quantile(0); got != 0 {
+		t.Fatalf("q=0 must return 0, got %v", got)
+	}
+}
+
+func TestQuantileOverflowSaturates(t *testing.T) {
+	h := newHistogram([]float64{1})
+	h.Observe(100) // overflow bucket
+	hv := h.snapshot("h")
+	if got := hv.Quantile(0.99); got != 1 {
+		t.Fatalf("overflow quantile = %v, want saturation at the last finite bound 1", got)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	hv := newHistogram(nil).snapshot("h")
+	if hv.Quantile(0.5) != 0 || hv.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestSizeBuckets(t *testing.T) {
+	got := SizeBuckets(256)
+	want := []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	if len(got) != len(want) {
+		t.Fatalf("SizeBuckets(256) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SizeBuckets(256) = %v", got)
+		}
+	}
+	if one := SizeBuckets(0); len(one) != 1 || one[0] != 1 {
+		t.Fatalf("SizeBuckets(0) = %v", one)
+	}
+}
+
+func TestLatencyBucketsAscending(t *testing.T) {
+	b := LatencyBuckets()
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d: %v", i, b)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package obs is PredictDDL's stdlib-only observability layer: a typed
+// metrics registry (counters, gauges, fixed-bucket histograms), an
+// injectable clock, and per-request stage tracing (DESIGN.md §9).
+//
+// The design contract mirrors the project's determinism discipline:
+//
+//   - The increment path is allocation-free and lock-free (atomics only),
+//     so instrumentation can sit on the GHN embed path and the HTTP serving
+//     path without perturbing what it measures.
+//   - Histogram bucket bounds are fixed at construction, never rebalanced,
+//     so a scripted request sequence lands in exactly the same buckets on
+//     every run and tests can assert exact counts.
+//   - All timestamps flow through an injected Clock. Production code uses
+//     SystemClock; tests use FakeClock and the deterministic packages
+//     (ghn, simulator, tensor) never touch time.Now — which also keeps
+//     ddlvet's timenow check clean.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies timestamps to every obs consumer. Instrumented packages
+// receive a Clock instead of calling time.Now so their timing behavior is
+// replayable under test.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+}
+
+// SystemClock is the production Clock: a thin wrapper over the wall clock.
+type SystemClock struct{}
+
+// Now returns the wall-clock time.
+func (SystemClock) Now() time.Time { return time.Now() }
+
+// Since returns the elapsed time between start and now on clock — the
+// Clock-aware analogue of time.Since.
+func Since(c Clock, start time.Time) time.Duration {
+	return c.Now().Sub(start)
+}
+
+// FakeClock is a manually driven Clock for tests. It starts at a fixed
+// instant and only moves when told to: either explicitly via Advance, or
+// implicitly by Step per Now call, which makes every timed region in a
+// scripted request sequence take an exact, assertable duration.
+//
+// Safe for concurrent use.
+type FakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+// NewFakeClock returns a clock frozen at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now returns the fake instant, then advances it by the configured step (if
+// any) so consecutive Now calls are strictly ordered when a step is set.
+func (f *FakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := f.now
+	f.now = f.now.Add(f.step)
+	return t
+}
+
+// Advance moves the clock forward by d.
+func (f *FakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+// SetStep makes every Now call auto-advance the clock by d afterwards
+// (0 disables). A fixed step turns "measure the duration of a region
+// bracketed by two Now calls" into an exact, scriptable quantity.
+func (f *FakeClock) SetStep(d time.Duration) {
+	f.mu.Lock()
+	f.step = d
+	f.mu.Unlock()
+}

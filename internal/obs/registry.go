@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. The increment path is a
+// single atomic add: no locks, no allocation. Methods are nil-safe no-ops,
+// so optionally-instrumented code (engines before Instrument, collectors
+// without a registry) can update counters unconditionally.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) {
+	if c != nil {
+		c.n.Add(delta)
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge is an instantaneous signed value (in-flight requests, queue depth,
+// live agents). All operations are single atomic instructions. Methods are
+// nil-safe no-ops, so optionally-instrumented code can update a gauge
+// unconditionally instead of branching in hot loops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add shifts the value by delta (negative deltas decrement).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a process-local namespace of named metrics. Lookup is
+// get-or-create and idempotent: two callers asking for the same name share
+// the same metric, so instrumented layers never need global wiring.
+//
+// Registration takes a short lock; the returned metric handles are held by
+// the instrumented code, so the hot path (Inc/Observe) never sees the map
+// again. All methods are safe for concurrent use.
+type Registry struct {
+	clock Clock
+
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry whose timed helpers use clock
+// (nil selects SystemClock).
+func NewRegistry(clock Clock) *Registry {
+	if clock == nil {
+		clock = SystemClock{}
+	}
+	return &Registry{
+		clock:      clock,
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Clock returns the registry's clock, for instrumented code that needs raw
+// timestamps (trace stages, stopwatches).
+func (r *Registry) Clock() Clock { return r.clock }
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds on first use. Bounds must be sorted
+// ascending; nil selects LatencyBuckets. Asking for an existing name with
+// different bounds panics — silently returning a histogram whose buckets
+// differ from what the caller asserted on would corrupt tests that rely on
+// exact bucket counts.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		h.checkBounds(name, bounds)
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		h.checkBounds(name, bounds)
+		return h
+	}
+	h = newHistogram(bounds)
+	r.histograms[name] = h
+	return h
+}
+
+// Snapshot captures every registered metric at one instant, sorted by name
+// so the serialized form is byte-stable for identical states.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make([]CounterValue, 0, len(r.counters)),
+		Gauges:     make([]GaugeValue, 0, len(r.gauges)),
+		Histograms: make([]HistogramValue, 0, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		s.Histograms = append(s.Histograms, h.snapshot(name))
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Snapshot is a point-in-time copy of a registry, ready for JSON encoding
+// (/v1/metrics) or text rendering (/debug/vars).
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Counter returns the snapshot value of a named counter (0 if absent) —
+// a convenience for tests and the smoke example.
+func (s Snapshot) Counter(name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the snapshot value of a named gauge (0 if absent).
+func (s Snapshot) Gauge(name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// HistogramByName returns the named histogram snapshot, if present.
+func (s Snapshot) HistogramByName(name string) (HistogramValue, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramValue{}, false
+}
+
+// checkBounds panics when a histogram is re-requested with conflicting
+// bounds (nil means "whatever was registered" and always matches).
+func (h *Histogram) checkBounds(name string, bounds []float64) {
+	if bounds == nil {
+		return
+	}
+	if len(bounds) != len(h.bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with %d bounds, have %d",
+			name, len(bounds), len(h.bounds)))
+	}
+	for i := range bounds {
+		if bounds[i] != h.bounds[i] {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with conflicting bound %v (have %v)",
+				name, bounds[i], h.bounds[i]))
+		}
+	}
+}

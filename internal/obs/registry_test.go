@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry(nil)
+	c := r.Counter("reqs")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("inflight")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Add(10)
+	if got := g.Value(); got != 11 {
+		t.Fatalf("gauge = %d, want 11", got)
+	}
+	g.Set(-3)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("gauge after Set = %d, want -3", got)
+	}
+}
+
+func TestRegistryGetOrCreateSharesMetrics(t *testing.T) {
+	r := NewRegistry(nil)
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same name returned distinct counters")
+	}
+	if r.Gauge("a") != r.Gauge("a") {
+		t.Fatal("same name returned distinct gauges")
+	}
+	if r.Histogram("a", nil) != r.Histogram("a", nil) {
+		t.Fatal("same name returned distinct histograms")
+	}
+	// A counter and a gauge may share a name: they live in separate
+	// namespaces (the snapshot labels them by kind).
+	r.Counter("a").Inc()
+	if r.Gauge("a").Value() != 0 {
+		t.Fatal("counter increment leaked into the gauge namespace")
+	}
+}
+
+func TestHistogramConflictingBoundsPanics(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Histogram("h", []float64{1, 2, 3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting re-registration did not panic")
+		}
+	}()
+	r.Histogram("h", []float64{1, 2, 4})
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Counter("z").Inc()
+	r.Counter("a").Add(2)
+	r.Gauge("m").Set(7)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a" || s.Counters[1].Name != "z" {
+		t.Fatalf("counters not sorted: %+v", s.Counters)
+	}
+	if s.Counter("a") != 2 || s.Counter("z") != 1 || s.Counter("missing") != 0 {
+		t.Fatalf("counter lookups wrong: %+v", s.Counters)
+	}
+	if s.Gauge("m") != 7 {
+		t.Fatalf("gauge lookup wrong: %+v", s.Gauges)
+	}
+	h, ok := s.HistogramByName("h")
+	if !ok || h.Count != 1 {
+		t.Fatalf("histogram lookup wrong: %+v", s.Histograms)
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry(nil)
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("lat", nil)
+			for j := 0; j < per; j++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != goroutines*per {
+		t.Fatalf("counter = %d, want %d", got, goroutines*per)
+	}
+	if got := r.Histogram("lat", nil).Count(); got != goroutines*per {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestFakeClockStepAndAdvance(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	fc := NewFakeClock(start)
+	if !fc.Now().Equal(start) {
+		t.Fatal("frozen clock moved")
+	}
+	fc.Advance(time.Second)
+	if got := fc.Now(); !got.Equal(start.Add(time.Second)) {
+		t.Fatalf("after Advance: %v", got)
+	}
+	fc.SetStep(time.Millisecond)
+	a := fc.Now()
+	b := fc.Now()
+	if d := b.Sub(a); d != time.Millisecond {
+		t.Fatalf("step = %v, want 1ms", d)
+	}
+}
+
+func TestHistogramTimeUsesClock(t *testing.T) {
+	fc := NewFakeClock(time.Unix(0, 0))
+	r := NewRegistry(fc)
+	h := r.Histogram("lat", []float64{0.001, 0.01, 0.1})
+	stop := h.Time(r.Clock())
+	fc.Advance(5 * time.Millisecond)
+	stop()
+	hv, _ := r.Snapshot().HistogramByName("lat")
+	// 5 ms lands in the (0.001, 0.01] bucket, exactly once.
+	if hv.Buckets[1].Count != 1 || hv.Count != 1 {
+		t.Fatalf("buckets = %+v", hv.Buckets)
+	}
+	if hv.Sum != 0.005 {
+		t.Fatalf("sum = %v, want 0.005", hv.Sum)
+	}
+}

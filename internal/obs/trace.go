@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RequestIDHeader is the header carrying a request's correlation ID.
+// Incoming values are propagated; requests without one are assigned a
+// server-generated ID, and every response echoes the header so clients can
+// quote it when reporting a problem.
+const RequestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen caps propagated client IDs so a hostile header cannot
+// bloat logs or responses.
+const maxRequestIDLen = 128
+
+// IDSource mints process-unique request IDs from an atomic counter — no
+// global randomness (the project's seeded-entropy discipline) and no
+// coordination beyond one atomic add. IDs look like "prefix-000042".
+type IDSource struct {
+	prefix string
+	n      atomic.Uint64
+}
+
+// NewIDSource returns an ID source with the given prefix ("req" if empty).
+func NewIDSource(prefix string) *IDSource {
+	if prefix == "" {
+		prefix = "req"
+	}
+	return &IDSource{prefix: prefix}
+}
+
+// Next returns the next ID.
+func (s *IDSource) Next() string {
+	return fmt.Sprintf("%s-%06d", s.prefix, s.n.Add(1))
+}
+
+// SanitizeRequestID validates a client-supplied request ID: printable ASCII
+// without separators, bounded length. Invalid or empty values return "",
+// telling the caller to mint a fresh ID instead.
+func SanitizeRequestID(id string) string {
+	if id == "" || len(id) > maxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == ',' {
+			return ""
+		}
+	}
+	return id
+}
+
+// Trace records the per-stage timing breakdown of one request. Stages are
+// appended in completion order; the report preserves that order so the
+// breakdown reads as the request's actual timeline.
+//
+// All methods are nil-safe: instrumented code threads a *Trace through its
+// call chain unconditionally and pays only a nil check when tracing is off.
+type Trace struct {
+	id    string
+	clock Clock
+	start time.Time
+
+	mu     sync.Mutex
+	stages []StageTiming
+}
+
+// StageTiming is one completed stage of a traced request.
+type StageTiming struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// NewTrace starts a trace for the given request ID on clock (nil selects
+// SystemClock).
+func NewTrace(id string, clock Clock) *Trace {
+	if clock == nil {
+		clock = SystemClock{}
+	}
+	return &Trace{id: id, clock: clock, start: clock.Now()}
+}
+
+// ID returns the trace's request ID ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Stage starts a named stage and returns the function that completes it:
+//
+//	defer tr.Stage("embed")()
+//
+// On a nil trace both calls are no-ops.
+func (t *Trace) Stage(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := t.clock.Now()
+	return func() { t.Observe(name, Since(t.clock, start).Seconds()) }
+}
+
+// Observe appends an already-measured stage. No-op on a nil trace.
+func (t *Trace) Observe(name string, seconds float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.stages = append(t.stages, StageTiming{Name: name, Seconds: seconds})
+	t.mu.Unlock()
+}
+
+// Report closes the trace and returns the timeline. Safe on a nil trace
+// (returns the zero report).
+func (t *Trace) Report() TraceReport {
+	if t == nil {
+		return TraceReport{}
+	}
+	t.mu.Lock()
+	stages := make([]StageTiming, len(t.stages))
+	copy(stages, t.stages)
+	t.mu.Unlock()
+	return TraceReport{
+		ID:           t.id,
+		TotalSeconds: Since(t.clock, t.start).Seconds(),
+		Stages:       stages,
+	}
+}
+
+// TraceReport is the JSON-ready stage breakdown returned to clients that
+// opted in with ?trace=1 and logged on the server.
+type TraceReport struct {
+	ID           string        `json:"id"`
+	TotalSeconds float64       `json:"total_seconds"`
+	Stages       []StageTiming `json:"stages"`
+}
+
+// String renders the report as one log line:
+//
+//	req-000007 total=1.2ms decode=0.1ms check=0.2ms embed=0.8ms regress=0.1ms
+func (r TraceReport) String() string {
+	out := fmt.Sprintf("%s total=%.3fms", r.ID, 1000*r.TotalSeconds)
+	for _, s := range r.Stages {
+		out += fmt.Sprintf(" %s=%.3fms", s.Name, 1000*s.Seconds)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.Stage("embed")() // must not panic
+	tr.Observe("x", 1)
+	if tr.ID() != "" {
+		t.Fatal("nil trace has an ID")
+	}
+	if r := tr.Report(); r.ID != "" || len(r.Stages) != 0 {
+		t.Fatalf("nil trace report = %+v", r)
+	}
+}
+
+func TestTraceStageTimeline(t *testing.T) {
+	fc := NewFakeClock(time.Unix(100, 0))
+	tr := NewTrace("req-000001", fc)
+
+	stop := tr.Stage("decode")
+	fc.Advance(2 * time.Millisecond)
+	stop()
+
+	stop = tr.Stage("embed")
+	fc.Advance(8 * time.Millisecond)
+	stop()
+
+	fc.Advance(time.Millisecond) // un-staged tail time
+	r := tr.Report()
+	if r.ID != "req-000001" {
+		t.Fatalf("id = %q", r.ID)
+	}
+	if len(r.Stages) != 2 || r.Stages[0].Name != "decode" || r.Stages[1].Name != "embed" {
+		t.Fatalf("stages = %+v", r.Stages)
+	}
+	if r.Stages[0].Seconds != 0.002 || r.Stages[1].Seconds != 0.008 {
+		t.Fatalf("stage seconds = %+v", r.Stages)
+	}
+	if r.TotalSeconds != 0.011 {
+		t.Fatalf("total = %v, want 0.011", r.TotalSeconds)
+	}
+	line := r.String()
+	for _, want := range []string{"req-000001", "total=11.000ms", "decode=2.000ms", "embed=8.000ms"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("log line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestIDSourceSequence(t *testing.T) {
+	s := NewIDSource("req")
+	if a, b := s.Next(), s.Next(); a != "req-000001" || b != "req-000002" {
+		t.Fatalf("ids = %q, %q", a, b)
+	}
+	if id := NewIDSource("").Next(); !strings.HasPrefix(id, "req-") {
+		t.Fatalf("default prefix missing: %q", id)
+	}
+}
+
+func TestSanitizeRequestID(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"abc-123", "abc-123"},
+		{"", ""},
+		{"has space", ""},
+		{"ctrl\x01byte", ""},
+		{"non-ascii-é", ""},
+		{`quote"id`, ""},
+		{"comma,id", ""},
+		{strings.Repeat("x", 200), ""},
+		{strings.Repeat("x", 128), strings.Repeat("x", 128)},
+	}
+	for _, tc := range cases {
+		if got := SanitizeRequestID(tc.in); got != tc.want {
+			t.Errorf("SanitizeRequestID(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

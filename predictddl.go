@@ -33,6 +33,7 @@ import (
 	"predictddl/internal/dataset"
 	"predictddl/internal/ghn"
 	"predictddl/internal/graph"
+	"predictddl/internal/obs"
 	"predictddl/internal/regress"
 	"predictddl/internal/simulator"
 	"predictddl/internal/tensor"
@@ -66,7 +67,16 @@ type (
 	Controller = core.Controller
 	// InferenceEngine is the trained prediction engine.
 	InferenceEngine = core.InferenceEngine
+	// MetricsRegistry is the process-local observability registry: typed
+	// counters, gauges, and fixed-bucket histograms with deterministic
+	// serialization (DESIGN.md §9). Attach one via Options.Obs to observe
+	// offline training, or read a Controller's via Controller.Metrics.
+	MetricsRegistry = obs.Registry
 )
+
+// NewMetricsRegistry returns an empty metrics registry backed by the system
+// clock.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry(nil) }
 
 // Zoo returns the 31 built-in architecture names.
 func Zoo() []string { return graph.Zoo() }
@@ -124,6 +134,11 @@ type Options struct {
 	Regressor Regressor
 	// Seed makes the whole pipeline deterministic (default 1).
 	Seed int64
+	// Obs, when non-nil, instruments the pipeline against this metrics
+	// registry: GHN training step times and queue depth during Train, embed
+	// latency and cache hit/miss counters on the resulting engine.
+	// Instrumentation never changes results.
+	Obs *MetricsRegistry
 }
 
 // Predictor is a trained PredictDDL instance for one dataset type.
@@ -170,6 +185,7 @@ func Train(opts Options) (*Predictor, error) {
 			BatchSize:   opts.GHNBatchSize,
 			Parallelism: opts.GHNParallelism,
 			Seed:        seed,
+			Metrics:     ghn.NewMetrics(opts.Obs),
 		},
 		Campaign: simulator.CampaignSpec{
 			Models:       opts.Models,
@@ -183,6 +199,7 @@ func Train(opts Options) (*Predictor, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.Engine.Instrument(opts.Obs) // no-op when opts.Obs is nil
 	return &Predictor{engine: res.Engine, dataset: d, spec: spec, points: res.Points}, nil
 }
 

@@ -1,0 +1,53 @@
+#!/bin/sh
+# cover.sh — per-package coverage gate.
+#
+# Runs `go test -cover` over the whole module, prints a per-package table,
+# and fails when any gated package (the serving path and its observability
+# layer) falls below the floor. Extra packages are reported but not gated:
+# the gate should catch regressions where tests exist, not force covering
+# the figure drivers' long-running experiment code.
+#
+# Usage: scripts/cover.sh [floor-percent]   (default 80)
+
+set -eu
+
+FLOOR="${1:-80}"
+GATED="predictddl/internal/core predictddl/internal/cluster predictddl/internal/obs"
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+# -coverprofile per package would need a merge step; `-cover` alone prints
+# the per-package percentage, which is all the gate needs.
+go test -count=1 -cover ./... >"$out" 2>&1 || { cat "$out"; exit 1; }
+
+printf '%-40s %8s %6s\n' "package" "coverage" "gate"
+fail=0
+while IFS= read -r line; do
+    case "$line" in
+    ok*) ;;
+    *) continue ;;
+    esac
+    pkg=$(printf '%s\n' "$line" | awk '{print $2}')
+    pct=$(printf '%s\n' "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    [ -n "$pct" ] || pct="0.0"
+    gate="-"
+    for g in $GATED; do
+        if [ "$pkg" = "$g" ]; then
+            gate="ok"
+            if awk -v p="$pct" -v f="$FLOOR" 'BEGIN { exit !(p < f) }'; then
+                gate="FAIL"
+                fail=1
+            fi
+        fi
+    done
+    printf '%-40s %7s%% %6s\n' "$pkg" "$pct" "$gate"
+done <"$out"
+
+if [ "$fail" -ne 0 ]; then
+    echo ""
+    echo "cover.sh: gated package below the ${FLOOR}% floor" >&2
+    exit 1
+fi
+echo ""
+echo "cover.sh: all gated packages at or above ${FLOOR}%"
