@@ -25,8 +25,12 @@ test:
 race:
 	$(GO) test -race -short ./...
 
+# Micro-benchmarks plus the embed fast-path report: BENCH_embed.json
+# records ns/op, allocs/op, p50/p99, and the reference-vs-fast-path
+# speedup ratios for this machine (CI uploads it as an artifact).
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/tensor/ ./internal/ghn/ ./internal/core/
+	$(GO) run ./cmd/ddlbench -bench-embed BENCH_embed.json
 
 # End-to-end smoke: the live-cluster example trains a predictor, runs
 # collector + agents + HTTP controller in one process, and survives an

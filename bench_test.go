@@ -444,6 +444,35 @@ func BenchmarkGHNEmbedResNet50Instrumented(b *testing.B) {
 	}
 }
 
+// BenchmarkGHNEmbedResNet50Reference runs the tape-building training
+// forward pass Embed used before the inference fast path existed; the
+// delta against BenchmarkGHNEmbedResNet50 is the fast path's win
+// (topology cache + pooled arenas + fused embed gather).
+func BenchmarkGHNEmbedResNet50Reference(b *testing.B) {
+	g := ghn.New(ghn.Config{}, tensor.NewRNG(1))
+	gr := graph.MustBuild("resnet50", graph.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.EmbedReference(gr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGHNEmbedResNet50Float32 runs the fast path on the float32
+// weight snapshot (serve -infer32).
+func BenchmarkGHNEmbedResNet50Float32(b *testing.B) {
+	g := ghn.New(ghn.Config{}, tensor.NewRNG(1))
+	gr := graph.MustBuild("resnet50", graph.DefaultConfig())
+	key := gr.Fingerprint()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.EmbedKeyed(gr, key, ghn.Float32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkGraphBuildEfficientNetB7(b *testing.B) {
 	cfg := graph.DefaultConfig()
 	for i := 0; i < b.N; i++ {

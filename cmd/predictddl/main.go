@@ -78,7 +78,7 @@ func usage() {
   predictddl serve   -addr :8080 [-datasets cifar10,tiny-imagenet] [-collector ADDR] [-quick]
                      [-read-timeout 30s] [-write-timeout 2m] [-idle-timeout 2m]
                      [-shutdown-timeout 30s] [-max-body N] [-max-batch N] [-collector-ttl 30s]
-                     [-pprof] [-trace-log]
+                     [-pprof] [-trace-log] [-infer32]
   predictddl models | datasets | specs`)
 }
 
@@ -196,6 +196,7 @@ func runServe(args []string) error {
 	collectorTTL := fs.Duration("collector-ttl", 30*time.Second, "collector registration time-to-live")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	traceLog := fs.Bool("trace-log", true, "log ?trace=1 request traces to stderr")
+	infer32 := fs.Bool("infer32", false, "serve embeddings on the float32 fast path (faster, not bit-identical to float64)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -209,7 +210,11 @@ func runServe(args []string) error {
 		if err != nil {
 			return err
 		}
+		p.UseFloat32Inference(*infer32)
 		preds = append(preds, p)
+	}
+	if *infer32 {
+		fmt.Fprintln(os.Stderr, "serving embeddings at float32 precision")
 	}
 	if len(preds) == 0 {
 		return fmt.Errorf("no datasets specified")

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"predictddl/internal/cluster"
+	"predictddl/internal/ghn"
+	"predictddl/internal/graph"
+)
+
+// Switching inference precision must clear the embedding cache (entries
+// are precision-specific), produce finite float32 predictions, and return
+// bit-identical float64 results when switched back.
+func TestSetInferencePrecision(t *testing.T) {
+	e := cheapEngine(t)
+	gr := graph.MustBuild("resnet18", graph.DefaultConfig())
+	c := cluster.Homogeneous(2, cluster.SpecCPUE52630())
+
+	if e.InferencePrecision() != ghn.Float64 {
+		t.Fatalf("default precision = %v, want float64", e.InferencePrecision())
+	}
+	e64, err := e.Embedding(gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p64, err := e.Predict(gr, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.EmbeddingCacheLen() == 0 {
+		t.Fatal("embedding not cached")
+	}
+
+	e.SetInferencePrecision(ghn.Float32)
+	if e.EmbeddingCacheLen() != 0 {
+		t.Fatal("precision switch did not clear the embedding cache")
+	}
+	e32, err := e.Embedding(gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drift float64
+	for i := range e32 {
+		if e32[i] != float64(float32(e32[i])) {
+			t.Fatalf("float32 embedding element %d is not an exact float32 value", i)
+		}
+		drift = math.Max(drift, math.Abs(e32[i]-e64[i]))
+	}
+	if drift == 0 {
+		t.Fatal("float32 route produced bit-identical floats — not plausibly a distinct precision")
+	}
+	if drift > 1e-3 {
+		t.Fatalf("float32 embedding drifts %v from float64", drift)
+	}
+	p32, err := e.Predict(gr, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(p32) || math.IsInf(p32, 0) || p32 <= 0 {
+		t.Fatalf("float32 prediction = %v", p32)
+	}
+
+	// Same-precision set is a no-op (cache survives).
+	if e.EmbeddingCacheLen() == 0 {
+		t.Fatal("float32 embedding not cached")
+	}
+	e.SetInferencePrecision(ghn.Float32)
+	if e.EmbeddingCacheLen() == 0 {
+		t.Fatal("same-precision set cleared the cache")
+	}
+
+	// Back to float64: results are bit-identical to the first pass.
+	e.SetInferencePrecision(ghn.Float64)
+	back, err := e.Embedding(gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range back {
+		if back[i] != e64[i] {
+			t.Fatalf("float64 embedding changed after round trip at %d", i)
+		}
+	}
+	pBack, err := e.Predict(gr, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pBack != p64 {
+		t.Fatalf("float64 prediction changed after round trip: %v vs %v", pBack, p64)
+	}
+}
+
+// The batch path must honor the active precision too.
+func TestEmbedAllHonorsPrecision(t *testing.T) {
+	e := cheapEngine(t)
+	graphs := []*graph.Graph{
+		graph.MustBuild("resnet18", graph.DefaultConfig()),
+		graph.MustBuild("vgg11", graph.DefaultConfig()),
+	}
+	e.SetInferencePrecision(ghn.Float32)
+	embs, err := e.EmbedAll(graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi, emb := range embs {
+		for i, v := range emb {
+			if v != float64(float32(v)) {
+				t.Fatalf("graph %d element %d not an exact float32 value", gi, i)
+			}
+		}
+	}
+}

@@ -26,6 +26,7 @@ package ghn
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"predictddl/internal/graph"
@@ -107,6 +108,22 @@ type GHN struct {
 	decoder   *nn.MLP     // per-node head (proxy targets)
 	graphHead *nn.MLP     // graph-level head (proxy targets)
 
+	// ones is the neutral gain vector gainRow hands out when Normalize is
+	// disabled — computed once here instead of allocated per node update.
+	// Callers must treat it as read-only.
+	ones []float64
+
+	// Inference fast path (infer.go): float64 weight views aliasing the
+	// live parameters, a lazily built float32 snapshot, per-precision
+	// pools of scratch arenas, and the fingerprint-keyed topology cache.
+	inf64    inferNet[float64]
+	inf32    atomic.Pointer[inferNet[float32]]
+	pool64   sync.Pool
+	pool32   sync.Pool
+	topoMu   sync.Mutex
+	topo     map[string]*topoInfo
+	topoFIFO []string
+
 	// metrics holds optional observability hooks (nil when uninstrumented);
 	// the hot path pays one atomic load to check.
 	metrics atomic.Pointer[Metrics]
@@ -130,6 +147,11 @@ func New(cfg Config, rng *tensor.RNG) *GHN {
 		graphHead: nn.NewMLP("ghn.graph_head", []int{cfg.EmbedDim, d, GraphTargetDim}, nn.ReLU, nn.Identity, rng),
 	}
 	g.opGain.W.Fill(1) // neutral gain at init
+	g.ones = make([]float64, d)
+	for i := range g.ones {
+		g.ones[i] = 1
+	}
+	g.initInfer()
 	return g
 }
 
@@ -301,14 +323,11 @@ func (g *GHN) sweep(st *forwardState, order []int, reverse bool, sp [][]spEdge) 
 }
 
 // gainRow returns the gain vector for an op; when normalization is
-// disabled it is the all-ones vector.
+// disabled it is the shared all-ones vector built at construction. The
+// returned slice is read-only.
 func (g *GHN) gainRow(op graph.OpType) []float64 {
 	if !g.cfg.Normalize {
-		one := make([]float64, g.cfg.HiddenDim)
-		for i := range one {
-			one[i] = 1
-		}
-		return one
+		return g.ones
 	}
 	return g.opGain.W.Row(int(op))
 }
@@ -322,10 +341,20 @@ func (g *GHN) gainRow(op graph.OpType) []float64 {
 // and total-complexity information, which the training-time predictor
 // needs to separate e.g. ResNet-50 from ResNet-101. The projection keeps
 // the embedding at the paper's fixed dimensionality (e.g. 32).
+//
+// Embed runs the tape-free fast path (infer.go) at float64, which is
+// bit-identical to the training forward pass; EmbedReference keeps the
+// original tape-building route as the equivalence oracle.
 func (g *GHN) Embed(gr *graph.Graph) ([]float64, error) {
-	if m := g.metrics.Load(); m != nil && m.EmbedSeconds != nil {
-		defer m.EmbedSeconds.Time(m.clock())()
-	}
+	return g.EmbedKeyed(gr, gr.Fingerprint(), Float64)
+}
+
+// EmbedReference computes the embedding through the training forward pass
+// — building the full backprop tape and discarding it. It is the reference
+// implementation the fast path is tested against (bit-identical at
+// float64) and the baseline the embed benchmarks compare to; serving
+// callers should use Embed.
+func (g *GHN) EmbedReference(gr *graph.Graph) ([]float64, error) {
 	st, err := g.forward(gr)
 	if err != nil {
 		return nil, err

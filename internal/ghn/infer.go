@@ -1,0 +1,304 @@
+// Inference fast path: a tape-free re-implementation of the GatedGNN
+// forward traversal for serving. The tape path (forward/sweep in ghn.go)
+// allocates a backprop tape — per-node MLPCaches, GRUCaches, message
+// vectors — and recomputes each graph's traversal structure on every call;
+// only Train needs any of that. This path writes into pooled scratch
+// arenas, reads the traversal structure from the fingerprint-keyed
+// topology cache (topo.go), and fuses the N one-hot embedding Forward
+// calls into a strided gather, so steady-state Embed allocates nothing but
+// the result slice.
+//
+// Two precisions share the generic kernels: the float64 route aliases the
+// live parameters and is bit-identical to the tape path (the floatorder
+// determinism contract); the float32 route runs on a weight snapshot taken
+// lazily at first use and is deterministic per precision, covered by its
+// own golden outputs. Scratch-arena ownership rule: no pooled buffer
+// escapes Embed — results are copied into fresh slices before the arena
+// returns to the pool.
+package ghn
+
+import (
+	"fmt"
+	"math"
+
+	"predictddl/internal/graph"
+	"predictddl/internal/nn"
+	"predictddl/internal/tensor"
+)
+
+// Precision selects the numeric type the inference fast path runs at.
+type Precision uint8
+
+const (
+	// Float64 runs inference at full precision, bit-identical to the
+	// training forward pass.
+	Float64 Precision = iota
+	// Float32 runs inference on a float32 snapshot of the weights: half
+	// the memory traffic, deterministic per precision, but not
+	// bit-comparable to the float64 route. The snapshot is taken at the
+	// first float32 embed; weights must not change afterwards (Train and
+	// Load always build fresh networks, so this holds everywhere in-repo).
+	Float32
+)
+
+// String names the precision for flags and diagnostics.
+func (p Precision) String() string {
+	if p == Float32 {
+		return "float32"
+	}
+	return "float64"
+}
+
+// inferNet bundles precision-generic weight views of every module the
+// embed path touches. The float64 instance aliases live parameter storage
+// (always fresh); the float32 instance is a converted snapshot.
+type inferNet[F tensor.Float] struct {
+	embed   nn.LinearView[F]
+	msgFw   nn.MLPView[F]
+	msgBw   nn.MLPView[F]
+	msgSpFw nn.MLPView[F]
+	msgSpBw nn.MLPView[F]
+	gru     nn.GRUView[F]
+	opGain  []F // NumOpTypes x d row-major
+	ones    []F
+	proj    nn.LinearView[F]
+}
+
+// gain returns the per-op message gain row (or the shared ones vector when
+// normalization is off). Read-only.
+func (n *inferNet[F]) gain(op graph.OpType, d int, normalize bool) []F {
+	if !normalize {
+		return n.ones
+	}
+	return n.opGain[int(op)*d : (int(op)+1)*d]
+}
+
+// inferScratch is one pooled arena holding every intermediate an embed
+// needs: the flat node-state matrix plus fixed-size gate/message/readout
+// buffers. Arenas are owned by the pool; embedFast results are copied out
+// before the arena is returned.
+type inferScratch[F tensor.Float] struct {
+	h       []F // n x d node states, grown to the largest graph seen
+	raw     []F // d: aggregated message before gain
+	m       []F // d: gain-scaled message (GRU input)
+	msgOut  []F // d: one neighbor's MLP output
+	tmp1    []F // MLP ping-pong scratch
+	tmp2    []F
+	hNew    []F // d: GRU output before write-back
+	gru     *nn.GRUScratch[F]
+	readout []F // 3d
+	out     []F // EmbedDim
+}
+
+func newInferScratch[F tensor.Float](d, embedDim int) *inferScratch[F] {
+	return &inferScratch[F]{
+		raw:     make([]F, d),
+		m:       make([]F, d),
+		msgOut:  make([]F, d),
+		tmp1:    make([]F, d),
+		tmp2:    make([]F, d),
+		hNew:    make([]F, d),
+		gru:     nn.NewGRUScratch[F](d),
+		readout: make([]F, 3*d),
+		out:     make([]F, embedDim),
+	}
+}
+
+// ensureNodes grows the node-state arena to hold n nodes of dimension d.
+func (sc *inferScratch[F]) ensureNodes(n, d int) {
+	if cap(sc.h) < n*d {
+		sc.h = make([]F, n*d)
+	}
+	sc.h = sc.h[:n*d]
+}
+
+// initInfer wires the fast-path state; called once from New.
+func (g *GHN) initInfer() {
+	g.inf64 = inferNet[float64]{
+		embed:   g.embed.InferView(),
+		msgFw:   g.msgFw.InferView(),
+		msgBw:   g.msgBw.InferView(),
+		msgSpFw: g.msgSpFw.InferView(),
+		msgSpBw: g.msgSpBw.InferView(),
+		gru:     g.gru.InferView(),
+		opGain:  g.opGain.W.Data(),
+		ones:    g.ones,
+		proj:    g.proj.InferView(),
+	}
+	d, ed := g.cfg.HiddenDim, g.cfg.EmbedDim
+	g.pool64.New = func() any { return newInferScratch[float64](d, ed) }
+	g.pool32.New = func() any { return newInferScratch[float32](d, ed) }
+	g.topo = make(map[string]*topoInfo)
+}
+
+// infer32 returns the float32 weight snapshot, building it on first use.
+func (g *GHN) infer32() *inferNet[float32] {
+	if net := g.inf32.Load(); net != nil {
+		return net
+	}
+	ones := make([]float32, len(g.ones))
+	for i := range ones {
+		ones[i] = 1
+	}
+	opGain := make([]float32, len(g.opGain.W.Data()))
+	for i, v := range g.opGain.W.Data() {
+		opGain[i] = float32(v)
+	}
+	net := &inferNet[float32]{
+		embed:   g.embed.InferView32(),
+		msgFw:   g.msgFw.InferView32(),
+		msgBw:   g.msgBw.InferView32(),
+		msgSpFw: g.msgSpFw.InferView32(),
+		msgSpBw: g.msgSpBw.InferView32(),
+		gru:     g.gru.InferView32(),
+		opGain:  opGain,
+		ones:    ones,
+		proj:    g.proj.InferView32(),
+	}
+	if !g.inf32.CompareAndSwap(nil, net) {
+		return g.inf32.Load() // concurrent builder won; snapshots are identical
+	}
+	return net
+}
+
+// EmbedKeyed is Embed with the graph's content fingerprint already
+// computed (the engine hashes once per request and passes the key down)
+// and an explicit precision. key must equal gr.Fingerprint(); a wrong key
+// would poison the topology cache for other graphs sharing it.
+func (g *GHN) EmbedKeyed(gr *graph.Graph, key string, p Precision) ([]float64, error) {
+	if m := g.metrics.Load(); m != nil && m.EmbedSeconds != nil {
+		defer m.EmbedSeconds.Time(m.clock())()
+	}
+	tp, err := g.topology(gr, key)
+	if err != nil {
+		return nil, err
+	}
+	switch p {
+	case Float64:
+		sc := g.pool64.Get().(*inferScratch[float64])
+		res := embedFast(g, &g.inf64, sc, gr, tp)
+		out := make([]float64, len(res))
+		copy(out, res)
+		g.pool64.Put(sc)
+		return out, nil
+	case Float32:
+		net := g.infer32()
+		sc := g.pool32.Get().(*inferScratch[float32])
+		res := embedFast(g, net, sc, gr, tp)
+		out := make([]float64, len(res))
+		for i, v := range res {
+			out[i] = float64(v) // exact widening; goldens compare bit-for-bit
+		}
+		g.pool32.Put(sc)
+		return out, nil
+	default:
+		return nil, fmt.Errorf("ghn: unknown precision %d", p)
+	}
+}
+
+// embedFast runs the full tape-free embed on one scratch arena and returns
+// the arena-owned result slice; the caller copies it out before returning
+// the arena to the pool.
+func embedFast[F tensor.Float](g *GHN, net *inferNet[F], sc *inferScratch[F], gr *graph.Graph, tp *topoInfo) []F {
+	d := g.cfg.HiddenDim
+	n := gr.NumNodes()
+	sc.ensureNodes(n, d)
+
+	// Fused embedding gather: node features are a one-hot op plus two
+	// scalar descriptors, so W·f+b collapses to three strided column reads
+	// per output element instead of a NodeFeatureDim-wide dot product. The
+	// contribution order (op column, channel column, spatial column, bias)
+	// matches the ascending-index order of Linear.Forward's dot product,
+	// so the float64 route stays bit-identical.
+	in := NodeFeatureDim
+	chIdx, hwIdx := graph.NumOpTypes, graph.NumOpTypes+1
+	w, bias := net.embed.W, net.embed.B
+	for v, node := range gr.Nodes {
+		fch := F(math.Log1p(float64(node.OutChannels)) / 10)
+		fhw := F(math.Log1p(float64(node.OutH*node.OutW)) / 10)
+		op := int(node.Op)
+		hrow := sc.h[v*d : (v+1)*d]
+		for j := 0; j < d; j++ {
+			wrow := w[j*in : (j+1)*in]
+			hrow[j] = wrow[op] + fch*wrow[chIdx] + fhw*wrow[hwIdx] + bias[j]
+		}
+	}
+
+	for t := 0; t < g.cfg.Passes; t++ {
+		sweepFast(g, net, sc, gr, tp.order, false, tp.spFw)
+		if !g.cfg.ForwardOnly {
+			sweepFast(g, net, sc, gr, tp.rev, true, tp.spBw)
+		}
+	}
+
+	// Readout [meanPool ‖ h_input ‖ h_output], then the projection head.
+	mp := sc.readout[:d]
+	clear(mp)
+	for v := 0; v < n; v++ {
+		hrow := sc.h[v*d : (v+1)*d]
+		for i, x := range hrow {
+			mp[i] += x
+		}
+	}
+	inv := F(1 / float64(n))
+	for i := range mp {
+		mp[i] *= inv
+	}
+	copy(sc.readout[d:2*d], sc.h[tp.termIn*d:(tp.termIn+1)*d])
+	copy(sc.readout[2*d:3*d], sc.h[tp.termOut*d:(tp.termOut+1)*d])
+	net.proj.InferInto(sc.out, sc.readout)
+	return sc.out
+}
+
+// sweepFast is the tape-free counterpart of sweep: one directed traversal
+// updating node states in place, arithmetic-identical to the tape path
+// (same aggregation order, same mean/gain scaling, same GRU association).
+func sweepFast[F tensor.Float](g *GHN, net *inferNet[F], sc *inferScratch[F], gr *graph.Graph, order []int, reverse bool, sp [][]spEdge) {
+	d := g.cfg.HiddenDim
+	msg, msgSp := &net.msgFw, &net.msgSpFw
+	if reverse {
+		msg, msgSp = &net.msgBw, &net.msgSpBw
+	}
+	for _, v := range order {
+		var nbrs []int
+		if reverse {
+			nbrs = gr.OutNeighbors(v)
+		} else {
+			nbrs = gr.InNeighbors(v)
+		}
+		var sps []spEdge
+		if sp != nil {
+			sps = sp[v]
+		}
+		count := len(nbrs) + len(sps)
+		if count == 0 {
+			continue // sources in this direction receive no message
+		}
+		raw := sc.raw
+		clear(raw)
+		for _, u := range nbrs {
+			msg.InferInto(sc.msgOut, sc.h[u*d:(u+1)*d], sc.tmp1, sc.tmp2)
+			for i, x := range sc.msgOut {
+				raw[i] += x
+			}
+		}
+		for _, e := range sps {
+			msgSp.InferInto(sc.msgOut, sc.h[e.u*d:(e.u+1)*d], sc.tmp1, sc.tmp2)
+			s := F(1 / e.s)
+			for i, x := range sc.msgOut {
+				raw[i] += s * x
+			}
+		}
+		inv := F(1 / float64(count))
+		for i := range raw {
+			raw[i] *= inv
+		}
+		gain := net.gain(gr.Nodes[v].Op, d, g.cfg.Normalize)
+		for i := range sc.m {
+			sc.m[i] = gain[i] * raw[i]
+		}
+		hrow := sc.h[v*d : (v+1)*d]
+		net.gru.InferInto(sc.hNew, sc.m, hrow, sc.gru)
+		copy(hrow, sc.hNew)
+	}
+}

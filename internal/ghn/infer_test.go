@@ -1,0 +1,344 @@
+package ghn
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"predictddl/internal/graph"
+	"predictddl/internal/tensor"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// equivalenceCorpus is the seeded graph set the fast path is checked
+// against: zoo families with different topology shapes (plain chains,
+// residual skips, branchy cells) plus random DARTS-style graphs.
+func equivalenceCorpus(t *testing.T) []*graph.Graph {
+	t.Helper()
+	var out []*graph.Graph
+	for _, name := range []string{"squeezenet1_1", "resnet18", "mobilenet_v3_small", "vgg11"} {
+		out = append(out, graph.MustBuild(name, graph.DefaultConfig()))
+	}
+	rng := tensor.NewRNG(99)
+	for i := 0; i < 4; i++ {
+		out = append(out, graph.RandomGraph(rng, graph.DefaultConfig()))
+	}
+	return out
+}
+
+// The float64 fast path must reproduce the tape path bit-for-bit on every
+// corpus graph, across every config axis that changes the traversal
+// (virtual edges, normalization, direction, passes, odd hidden sizes).
+func TestFastPathMatchesTapePathBitwise(t *testing.T) {
+	configs := map[string]Config{
+		"default":      DefaultConfig(),
+		"forward-only": {HiddenDim: 32, VirtualEdges: true, MaxShortestPath: 5, Normalize: true, ForwardOnly: true},
+		"no-virtual":   {HiddenDim: 32, Normalize: true},
+		"no-normalize": {HiddenDim: 32, VirtualEdges: true, MaxShortestPath: 5},
+		"two-passes":   {HiddenDim: 32, Passes: 2, VirtualEdges: true, MaxShortestPath: 5, Normalize: true},
+		"odd-dims":     {HiddenDim: 17, EmbedDim: 9, VirtualEdges: true, MaxShortestPath: 5, Normalize: true},
+	}
+	corpus := equivalenceCorpus(t)
+	for name, cfg := range configs {
+		g := New(cfg, tensor.NewRNG(7))
+		for _, gr := range corpus {
+			want, err := g.EmbedReference(gr)
+			if err != nil {
+				t.Fatalf("%s/%s: reference: %v", name, gr.Name, err)
+			}
+			got, err := g.Embed(gr)
+			if err != nil {
+				t.Fatalf("%s/%s: fast: %v", name, gr.Name, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s/%s: element %d differs: fast %v vs tape %v",
+						name, gr.Name, i, got[i], want[i])
+				}
+			}
+			// Second call exercises the warmed topology cache and a pooled
+			// arena; it must still match exactly.
+			again, err := g.Embed(gr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if again[i] != want[i] {
+					t.Fatalf("%s/%s: warmed call diverged at %d", name, gr.Name, i)
+				}
+			}
+		}
+	}
+}
+
+// Equivalence must also hold on trained weights (the serving scenario):
+// the float64 views alias live parameter storage, so training updates are
+// visible to the fast path with no snapshot staleness.
+func TestFastPathMatchesTapePathAfterTraining(t *testing.T) {
+	g, _, err := Train(Config{HiddenDim: 16}, TrainConfig{Graphs: 12, Epochs: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"resnet18", "squeezenet1_1"} {
+		gr := graph.MustBuild(name, graph.DefaultConfig())
+		want, err := g.EmbedReference(gr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.Embed(gr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: trained element %d differs: %v vs %v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Steady-state Embed on the pooled path must allocate only the result
+// slice plus the per-call fingerprint hash; EmbedKeyed (fingerprint
+// precomputed, the serving path) is tighter still. The tape path allocates
+// hundreds of times per call — enforce the ≥10x reduction directly.
+func TestEmbedAllocRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc bounds only hold without it")
+	}
+	g := New(DefaultConfig(), tensor.NewRNG(1))
+	gr := smallGraph(t)
+	key := gr.Fingerprint()
+
+	// Warm the topology cache and the arena pool.
+	if _, err := g.EmbedKeyed(gr, key, Float64); err != nil {
+		t.Fatal(err)
+	}
+
+	keyed := testing.AllocsPerRun(200, func() {
+		if _, err := g.EmbedKeyed(gr, key, Float64); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if keyed > 2 {
+		t.Fatalf("warmed EmbedKeyed allocates %v per run, want <= 2 (result slice only)", keyed)
+	}
+
+	embed := testing.AllocsPerRun(200, func() {
+		if _, err := g.Embed(gr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if embed > 10 {
+		t.Fatalf("warmed Embed allocates %v per run, want <= 10 (result + fingerprint)", embed)
+	}
+
+	ref := testing.AllocsPerRun(20, func() {
+		if _, err := g.EmbedReference(gr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if ref < 10*embed {
+		t.Fatalf("tape path allocates %v per run vs fast path %v — want >= 10x reduction", ref, embed)
+	}
+
+	// The float32 route pools its own arenas.
+	if _, err := g.EmbedKeyed(gr, key, Float32); err != nil {
+		t.Fatal(err)
+	}
+	keyed32 := testing.AllocsPerRun(200, func() {
+		if _, err := g.EmbedKeyed(gr, key, Float32); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if keyed32 > 2 {
+		t.Fatalf("warmed float32 EmbedKeyed allocates %v per run, want <= 2", keyed32)
+	}
+}
+
+// EmbedAll's steady-state allocations must stay linear in the output size
+// (the result matrix and per-row slices), not in graph size.
+func TestEmbedAllAllocRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc bounds only hold without it")
+	}
+	g := New(DefaultConfig(), tensor.NewRNG(1))
+	graphs := []*graph.Graph{
+		graph.MustBuild("squeezenet1_1", graph.DefaultConfig()),
+		graph.MustBuild("resnet18", graph.DefaultConfig()),
+	}
+	if _, err := g.EmbedAll(graphs); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := g.EmbedAll(graphs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 2 graphs x (result slice + fingerprint hashing) + result matrix.
+	if allocs > 25 {
+		t.Fatalf("warmed EmbedAll allocates %v per run, want <= 25", allocs)
+	}
+}
+
+// The topology cache must stay bounded under a stream of distinct graphs
+// and keep returning correct results after evictions.
+func TestTopologyCacheEviction(t *testing.T) {
+	g := New(DefaultConfig(), tensor.NewRNG(1))
+	rng := tensor.NewRNG(4)
+	first := graph.RandomGraph(rng, graph.DefaultConfig())
+	want, err := g.Embed(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < topoCacheCap+16; i++ {
+		if _, err := g.Embed(graph.RandomGraph(rng, graph.DefaultConfig())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := g.topoCacheLen(); n > topoCacheCap {
+		t.Fatalf("topology cache holds %d entries, cap %d", n, topoCacheCap)
+	}
+	// first has been evicted; re-embedding recomputes and still matches.
+	got, err := g.Embed(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-eviction embedding differs at %d", i)
+		}
+	}
+}
+
+func TestEmbedKeyedRejectsUnknownPrecision(t *testing.T) {
+	g := New(DefaultConfig(), tensor.NewRNG(1))
+	gr := smallGraph(t)
+	if _, err := g.EmbedKeyed(gr, gr.Fingerprint(), Precision(7)); err == nil {
+		t.Fatal("unknown precision accepted")
+	}
+}
+
+func TestPrecisionString(t *testing.T) {
+	if Float64.String() != "float64" || Float32.String() != "float32" {
+		t.Fatalf("precision names: %q / %q", Float64, Float32)
+	}
+}
+
+// The float32 route is deterministic per precision and close to the
+// float64 route; its exact outputs are pinned by a golden file
+// (regenerate with -update).
+func TestFloat32EmbedGolden(t *testing.T) {
+	g := New(DefaultConfig(), tensor.NewRNG(42))
+	got := map[string][]float64{}
+	for _, name := range []string{"squeezenet1_1", "resnet18"} {
+		gr := graph.MustBuild(name, graph.DefaultConfig())
+		e32, err := g.EmbedKeyed(gr, gr.Fingerprint(), Float32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := g.EmbedKeyed(gr, gr.Fingerprint(), Float32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e64, err := g.Embed(gr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range e32 {
+			if e32[i] != again[i] {
+				t.Fatalf("%s: float32 embed not deterministic at %d", name, i)
+			}
+			if e32[i] != float64(float32(e32[i])) {
+				t.Fatalf("%s: element %d is not an exact float32 value", name, i)
+			}
+			if math.Abs(e32[i]-e64[i]) > 1e-3 {
+				t.Fatalf("%s: float32 element %d drifts from float64: %v vs %v", name, i, e32[i], e64[i])
+			}
+		}
+		got[name] = e32
+	}
+
+	path := filepath.Join("testdata", "embed_float32.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	var want map[string][]float64
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, wv := range want {
+		gv, ok := got[name]
+		if !ok || len(gv) != len(wv) {
+			t.Fatalf("golden model %s missing or wrong length", name)
+		}
+		for i := range wv {
+			if gv[i] != wv[i] {
+				t.Fatalf("%s: float32 golden mismatch at %d: got %v want %v", name, i, gv[i], wv[i])
+			}
+		}
+	}
+}
+
+// Concurrent embeds share the pools and topology cache; under the race
+// detector this doubles as a safety check, and results must match the
+// serial ones exactly.
+func TestEmbedConcurrentPoolSafety(t *testing.T) {
+	g := New(DefaultConfig(), tensor.NewRNG(1))
+	corpus := equivalenceCorpus(t)
+	want := make([][]float64, len(corpus))
+	for i, gr := range corpus {
+		e, err := g.Embed(gr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = e
+	}
+	const workers = 4
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i, gr := range corpus {
+				e, err := g.Embed(gr)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := range e {
+					if e[j] != want[i][j] {
+						errs <- errMismatch
+						return
+					}
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMismatch = errFrom("concurrent embed diverged from serial result")
+
+type errFrom string
+
+func (e errFrom) Error() string { return string(e) }

@@ -90,10 +90,39 @@ func (g *GRUCell) Forward(x, h []float64) ([]float64, *GRUCache) {
 	return hNew, cache
 }
 
-// Infer computes the next hidden state without allocating a cache.
+// Infer computes the next hidden state without building a backprop cache.
+// It mirrors Forward step for step (bit-identical output) while skipping
+// the GRUCache; it is the straightforward reference implementation the
+// fast-path equivalence tests compare InferInto against. Steady-state
+// callers should use InferInto, which also skips the per-call gate
+// allocations.
 func (g *GRUCell) Infer(x, h []float64) []float64 {
-	out, _ := g.Forward(x, h)
-	return out
+	if len(x) != g.InDim || len(h) != g.HiddenDim {
+		panic(fmt.Sprintf("nn: gru infer shapes x=%d h=%d, want %d/%d", len(x), len(h), g.InDim, g.HiddenDim))
+	}
+	n := g.HiddenDim
+	z := make([]float64, n)
+	r := make([]float64, n)
+	affine(g.Wz, g.Uz, g.Bz, x, h, z)
+	affine(g.Wr, g.Ur, g.Br, x, h, r)
+	for i := range z {
+		z[i] = Sigmoidf(z[i])
+		r[i] = Sigmoidf(r[i])
+	}
+	rh := make([]float64, n)
+	for i := range rh {
+		rh[i] = r[i] * h[i]
+	}
+	c := make([]float64, n)
+	affine(g.Wc, g.Uc, g.Bc, x, rh, c)
+	for i := range c {
+		c[i] = math.Tanh(c[i])
+	}
+	hNew := make([]float64, n)
+	for i := range hNew {
+		hNew[i] = (1-z[i])*h[i] + z[i]*c[i]
+	}
+	return hNew
 }
 
 // Backward consumes gradH = dL/dh' and returns (dL/dx, dL/dh), accumulating

@@ -78,6 +78,9 @@ func (m *MLP) Forward(x []float64) ([]float64, *MLPCache) {
 }
 
 // Infer runs the network without building a cache (prediction-only path).
+// It allocates one slice per layer and is the reference implementation the
+// fast-path equivalence tests compare InferInto against; steady-state
+// callers should use InferInto with reused scratch.
 func (m *MLP) Infer(x []float64) []float64 {
 	cur := x
 	for i, l := range m.layers {

@@ -189,27 +189,55 @@ func matMulWorkers(m, k, n int) int {
 }
 
 // matMulRange computes out rows [i0, i1) of a*b, blocked over k so a panel
-// of b rows stays cache-resident across the chunk. For every output element
-// the k accumulation order is ascending — identical to the naive ikj kernel
-// — so blocked, serial, and parallel paths are bit-for-bit interchangeable.
+// of b rows stays cache-resident across the chunk, and register-blocked
+// over j: four output columns are accumulated in registers across the whole
+// k panel, so the output row is loaded and stored once per panel instead of
+// once per k, and the four independent accumulator chains hide FP-add
+// latency. Each accumulator is seeded from the output element and sums in
+// ascending k order — identical to the naive ikj kernel — so blocked,
+// serial, and parallel paths are bit-for-bit interchangeable.
 func matMulRange(out, a, b *Matrix, i0, i1 int) {
+	n := b.cols
+	bd := b.data
 	for k0 := 0; k0 < a.cols; k0 += matMulBlockK {
 		k1 := k0 + matMulBlockK
 		if k1 > a.cols {
 			k1 = a.cols
 		}
 		for i := i0; i < i1; i++ {
-			arow := a.Row(i)
+			arow := a.Row(i)[k0:k1]
 			orow := out.Row(i)
-			for k := k0; k < k1; k++ {
-				av := arow[k]
-				if av == 0 {
-					continue
+			j := 0
+			for ; j+4 <= n; j += 4 {
+				acc0 := orow[j]
+				acc1 := orow[j+1]
+				acc2 := orow[j+2]
+				acc3 := orow[j+3]
+				idx := k0*n + j
+				for _, av := range arow {
+					if av != 0 {
+						acc0 += av * bd[idx]
+						acc1 += av * bd[idx+1]
+						acc2 += av * bd[idx+2]
+						acc3 += av * bd[idx+3]
+					}
+					idx += n
 				}
-				brow := b.Row(k)
-				for j, bv := range brow {
-					orow[j] += av * bv
+				orow[j] = acc0
+				orow[j+1] = acc1
+				orow[j+2] = acc2
+				orow[j+3] = acc3
+			}
+			for ; j < n; j++ {
+				acc := orow[j]
+				idx := k0*n + j
+				for _, av := range arow {
+					if av != 0 {
+						acc += av * bd[idx]
+					}
+					idx += n
 				}
+				orow[j] = acc
 			}
 		}
 	}
