@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet ddlvet bench smoke cover fuzz verify
+.PHONY: all build test race vet ddlvet vetbench bench smoke cover fuzz verify
 
 all: verify
 
@@ -10,10 +10,18 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific determinism/concurrency checks (DESIGN.md §7); exits
-# non-zero on any non-suppressed diagnostic.
+# Project-specific determinism/concurrency checks (DESIGN.md §7, §11);
+# exits non-zero on any non-suppressed diagnostic.
 ddlvet:
 	$(GO) run ./cmd/ddlvet ./...
+
+# ddlvet self-run benchmark + wall-clock budget: the analysis engine runs
+# over this repository and must finish inside DDLVET_BUDGET_SECONDS
+# (default 120s), so a dataflow-engine perf regression fails the build
+# instead of silently slowing every commit.
+vetbench:
+	$(GO) test ./internal/analysis/ -run TestDdlvetSelfRunBudget -v
+	$(GO) test ./internal/analysis/ -run '^$$' -bench 'BenchmarkDdlvet' -benchtime 2x -benchmem
 
 # -shuffle=on randomizes test order so inter-test state dependence fails
 # loudly instead of passing by accident.
@@ -28,7 +36,7 @@ race:
 # Micro-benchmarks plus the embed fast-path report: BENCH_embed.json
 # records ns/op, allocs/op, p50/p99, and the reference-vs-fast-path
 # speedup ratios for this machine (CI uploads it as an artifact).
-bench:
+bench: vetbench
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/tensor/ ./internal/ghn/ ./internal/core/
 	$(GO) run ./cmd/ddlbench -bench-embed BENCH_embed.json
 

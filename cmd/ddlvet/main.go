@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ddlvet [-checks id,id,...] [-list] [packages]
+//	ddlvet [-checks id,id,...] [-list] [-json] [packages]
 //
 // Packages may be `./...` (the whole module, the default) or individual
 // directories. Exit codes: 0 clean, 1 diagnostics found, 2 load/usage
@@ -12,19 +12,33 @@
 //
 //	file:line:col: message [check/severity]
 //
-// and are suppressed per-line with `//ddlvet:ignore CHECKID reason`.
+// or, with -json, as one stable sorted JSON array (paths relative to the
+// module root, `[]` when clean) suitable for CI artifacts. Findings are
+// suppressed per-line with `//ddlvet:ignore CHECKID[,CHECKID...] reason`.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"predictddl/internal/analysis"
 )
+
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"` // module-root-relative, forward slashes
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Check    string `json:"check"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -35,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	checksFlag := fs.String("checks", "", "comma-separated check IDs to run (default: all)")
 	listFlag := fs.Bool("list", false, "list available checks and exit")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as a sorted JSON array on stdout")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -76,18 +91,66 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pkgs = append(pkgs, loaded...)
 	}
 
-	found := 0
+	var diags []analysis.Diagnostic
 	for _, pkg := range pkgs {
-		for _, d := range analysis.RunChecks(pkg, checks) {
-			found++
+		diags = append(diags, analysis.RunChecks(pkg, checks)...)
+	}
+	if *jsonFlag {
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintf(stderr, "ddlvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(stderr, "ddlvet: %d diagnostic(s) in %d package(s)\n", found, len(pkgs))
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "ddlvet: %d diagnostic(s) in %d package(s)\n", len(diags), len(pkgs))
 		return 1
 	}
 	return 0
+}
+
+// writeJSON emits diagnostics as one stable array: paths are rewritten
+// relative to the module root (forward slashes) and entries are globally
+// sorted by file, line, column, then check — RunChecks only orders within
+// a package, and CI diffs need a total order across the module.
+func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
+	root, rootErr := analysis.ModuleRoot(".")
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		file := d.Position.Filename
+		if rootErr == nil {
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		out = append(out, jsonDiagnostic{
+			File:     filepath.ToSlash(file),
+			Line:     d.Position.Line,
+			Column:   d.Position.Column,
+			Check:    d.Check,
+			Severity: d.Severity.String(),
+			Message:  d.Message,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Check < b.Check
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // loadPattern loads `dir/...` recursively or a single package directory.

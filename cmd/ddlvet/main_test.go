@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os/exec"
 	"path/filepath"
 	"regexp"
@@ -97,9 +98,64 @@ func TestBinaryListsChecks(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, id := range []string{"apierr", "closecheck", "floatorder", "maporder", "timenow", "waitgroup"} {
+	for _, id := range []string{"apierr", "closecheck", "floatorder", "goleak", "guardedby", "maporder", "poolescape", "timenow", "waitgroup"} {
 		if !strings.Contains(stdout, id) {
 			t.Errorf("-list output missing check %q:\n%s", id, stdout)
 		}
+	}
+}
+
+// TestBinaryJSONOutput pins the -json contract: a stable sorted array with
+// module-root-relative paths, and a literal empty array on a clean run.
+func TestBinaryJSONOutput(t *testing.T) {
+	bin := buildBinary(t)
+	fixture, err := filepath.Abs("testdata/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stdout, stderr, code := runBinary(t, bin, fixture, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Check    string `json:"check"`
+		Severity string `json:"severity"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d JSON diagnostics, want 1:\n%s", len(diags), stdout)
+	}
+	d := diags[0]
+	if d.File != "bad.go" {
+		t.Errorf("file = %q, want module-root-relative %q", d.File, "bad.go")
+	}
+	if d.Check != "floatorder" || d.Severity != "error" || d.Line != 10 {
+		t.Errorf("unexpected diagnostic fields: %+v", d)
+	}
+	if d.Message == "" {
+		t.Error("empty message")
+	}
+
+	// A clean run still emits valid JSON: the empty array, exit 0.
+	stdout, _, code = runBinary(t, bin, fixture, "-json", "-checks=closecheck", "./...")
+	if code != 0 {
+		t.Fatalf("clean run exit = %d, want 0", code)
+	}
+	if got := strings.TrimSpace(stdout); got != "[]" {
+		t.Errorf("clean -json output = %q, want %q", got, "[]")
+	}
+
+	// Determinism: two identical runs produce byte-identical output.
+	again, _, _ := runBinary(t, bin, fixture, "-json", "./...")
+	first, _, _ := runBinary(t, bin, fixture, "-json", "./...")
+	if again != first {
+		t.Error("-json output differs between identical runs")
 	}
 }

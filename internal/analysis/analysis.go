@@ -9,11 +9,11 @@
 //
 // Each check has a stable ID, a severity, and per-line suppression via
 //
-//	//ddlvet:ignore CHECKID reason
+//	//ddlvet:ignore CHECKID[,CHECKID...] reason
 //
 // placed on the flagged line or the line directly above it. Suppressions
-// without a reason are rejected (and reported), so every waiver is
-// self-documenting.
+// without a reason — or naming a check ID no analyzer owns — are rejected
+// (and reported), so every waiver is self-documenting.
 package analysis
 
 import (
@@ -99,7 +99,10 @@ func Checks() []*Analyzer {
 		AnalyzerAPIErr,
 		AnalyzerCloseCheck,
 		AnalyzerFloatOrder,
+		AnalyzerGoLeak,
+		AnalyzerGuardedBy,
 		AnalyzerMapOrder,
+		AnalyzerPoolEscape,
 		AnalyzerTimeNow,
 		AnalyzerWaitGroup,
 	}

@@ -1,0 +1,358 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the control-flow half of the dataflow engine (DESIGN.md
+// §11): a per-function CFG built directly from the AST, still stdlib-only.
+// Blocks carry the simple statements and the control expressions
+// (if/switch conditions, range operands) in execution order, so a forward
+// analysis that walks Nodes sequentially sees every expression exactly
+// when it evaluates. Nested function literals are NOT decomposed — a
+// closure is an opaque expression here and is analyzed as its own function
+// by the checks that care (its body runs at call time, not at the point it
+// is written).
+
+// Block is one basic block: straight-line nodes plus successor edges.
+type Block struct {
+	// Index orders blocks by creation, entry first. Stable across runs.
+	Index int
+	// Nodes holds simple statements (*ast.AssignStmt, *ast.ExprStmt,
+	// *ast.DeferStmt, ...) and control expressions (the ast.Expr of an if
+	// condition, switch tag, or range operand) in execution order.
+	Nodes []ast.Node
+	// Succs are the possible next blocks. A return/goto block has the exit
+	// or target as its only successor; a fallthrough block has one.
+	Succs []*Block
+}
+
+// CFG is one function body's control-flow graph.
+type CFG struct {
+	// Entry is the first block executed.
+	Entry *Block
+	// Exit is the synthetic sink every return (and the final fallthrough)
+	// feeds. It holds no nodes.
+	Exit *Block
+	// Blocks lists every block, entry first, in creation order.
+	Blocks []*Block
+}
+
+// cfgBuilder carries the under-construction graph and the branch-target
+// context (for break/continue/goto).
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+
+	// breaks/continues map a loop/switch nesting entry to its targets; the
+	// innermost entry is last. label is "" for unlabeled statements.
+	targets []branchTargets
+	// gotos and labels resolve forward gotos after the walk.
+	labels map[string]*Block
+	gotos  []pendingGoto
+}
+
+type branchTargets struct {
+	label     string
+	breakTo   *Block
+	continue_ *Block // nil for switch/select (continue skips them)
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+	pos   token.Pos
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	cfg := &CFG{}
+	b := &cfgBuilder{cfg: cfg, labels: map[string]*Block{}}
+	cfg.Entry = b.newBlock()
+	b.cur = cfg.Entry
+	cfg.Exit = b.newBlock()
+	b.stmtList(body.List)
+	// Fallthrough off the end of the body returns.
+	b.edge(b.cur, cfg.Exit)
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.from, target)
+		} else {
+			// Unresolvable goto (label in a scope we did not see): be
+			// conservative and let control reach the exit.
+			b.edge(g.from, cfg.Exit)
+		}
+	}
+	return cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startBlock finishes cur with an edge to next and makes next current.
+func (b *cfgBuilder) startBlock(next *Block) {
+	b.edge(b.cur, next)
+	b.cur = next
+}
+
+// add appends a node to the current block.
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt translates one statement. label is the pending label when the
+// statement is the body of a LabeledStmt.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The label marks the start of its statement: materialize a block
+		// so gotos have a target, then translate with the label pending so
+		// loops register labeled break/continue targets.
+		target := b.newBlock()
+		b.startBlock(target)
+		b.labels[s.Label.Name] = target
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		after := b.newBlock()
+		thenBlk := b.newBlock()
+		b.edge(condBlk, thenBlk)
+		b.cur = thenBlk
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(condBlk, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else, "")
+			b.edge(b.cur, after)
+		} else {
+			b.edge(condBlk, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		header := b.newBlock()
+		b.startBlock(header)
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		after := b.newBlock()
+		post := b.newBlock() // continue lands here
+		body := b.newBlock()
+		b.edge(header, body)
+		if s.Cond != nil {
+			b.edge(header, after) // condition false
+		}
+		b.pushTargets(label, after, post)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.popTargets()
+		b.edge(b.cur, post)
+		b.cur = post
+		if s.Post != nil {
+			b.stmt(s.Post, "")
+		}
+		b.edge(b.cur, header) // back edge
+		b.cur = after
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		header := b.newBlock()
+		b.startBlock(header)
+		// Key/Value are (re)defined each iteration: surface the whole
+		// RangeStmt as the header's node so def-collection sees them.
+		b.add(s)
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(header, body)
+		b.edge(header, after) // range exhausted
+		b.pushTargets(label, after, header)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.popTargets()
+		b.edge(b.cur, header) // back edge
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(s.Body.List, label, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.add(s.Assign)
+		b.caseClauses(s.Body.List, label, false)
+
+	case *ast.SelectStmt:
+		b.caseClauses(s.Body.List, label, true)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock() // unreachable continuation
+
+	case *ast.BranchStmt:
+		b.add(s) // keep the jump itself visible to node walks
+		switch s.Tok {
+		case token.BREAK:
+			b.edge(b.cur, b.findBreak(labelOf(s)))
+			b.cur = b.newBlock()
+		case token.CONTINUE:
+			if t := b.findContinue(labelOf(s)); t != nil {
+				b.edge(b.cur, t)
+			} else {
+				b.edge(b.cur, b.cfg.Exit)
+			}
+			b.cur = b.newBlock()
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name, pos: s.Pos()})
+			b.cur = b.newBlock()
+		case token.FALLTHROUGH:
+			// caseClauses wires the fallthrough edge; nothing to do here.
+		}
+
+	default:
+		// Simple statements: assignments, expression statements, defers,
+		// go statements, declarations, sends, inc/dec, empty.
+		b.add(s)
+	}
+}
+
+// caseClauses translates a switch/type-switch/select body: every clause is
+// entered from the header block (evaluation order does not matter for the
+// conservative analyses built on top), break exits to after, and a
+// fallthrough falls into the next clause.
+func (b *cfgBuilder) caseClauses(clauses []ast.Stmt, label string, isSelect bool) {
+	header := b.cur
+	after := b.newBlock()
+	hasDefault := false
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	for i, cs := range clauses {
+		var body []ast.Stmt
+		var exprs []ast.Expr
+		var comm ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			body, exprs = cs.Body, cs.List
+			if cs.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			body, comm = cs.Body, cs.Comm
+			if cs.Comm == nil {
+				hasDefault = true
+			}
+		}
+		b.edge(header, bodies[i])
+		b.cur = bodies[i]
+		for _, e := range exprs {
+			b.add(e)
+		}
+		if comm != nil {
+			b.stmt(comm, "")
+		}
+		b.pushTargets(label, after, nil)
+		b.stmtList(body)
+		b.popTargets()
+		// A trailing fallthrough feeds the next clause; otherwise the
+		// clause exits the switch.
+		if i+1 < len(clauses) && endsInFallthrough(body) {
+			b.edge(b.cur, bodies[i+1])
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	// Without a default, no clause may match (for select: block forever —
+	// still model the skip edge; the analyses are may-analyses).
+	if !hasDefault || len(clauses) == 0 {
+		b.edge(header, after)
+	}
+	_ = isSelect
+	b.cur = after
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func labelOf(s *ast.BranchStmt) string {
+	if s.Label != nil {
+		return s.Label.Name
+	}
+	return ""
+}
+
+func (b *cfgBuilder) pushTargets(label string, breakTo, continueTo *Block) {
+	b.targets = append(b.targets, branchTargets{label: label, breakTo: breakTo, continue_: continueTo})
+}
+
+func (b *cfgBuilder) popTargets() {
+	b.targets = b.targets[:len(b.targets)-1]
+}
+
+func (b *cfgBuilder) findBreak(label string) *Block {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := b.targets[i]
+		if label == "" || t.label == label {
+			return t.breakTo
+		}
+	}
+	return b.cfg.Exit // stray break: conservatively exit
+}
+
+func (b *cfgBuilder) findContinue(label string) *Block {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := b.targets[i]
+		if t.continue_ == nil {
+			continue // switch/select: continue targets the enclosing loop
+		}
+		if label == "" || t.label == label {
+			return t.continue_
+		}
+	}
+	return nil
+}

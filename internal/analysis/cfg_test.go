@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// parseFuncBody parses src (a complete file) and returns the body of the
+// first function declaration.
+func parseFuncBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// blockContaining returns the block holding a node for which match returns
+// true, searching the nodes of every block.
+func blockContaining(t *testing.T, cfg *CFG, match func(ast.Node) bool) *Block {
+	t.Helper()
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			found := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if x != nil && match(x) {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return blk
+			}
+		}
+	}
+	t.Fatal("no block contains the requested node")
+	return nil
+}
+
+// reaches reports whether to is reachable from from along successor edges.
+func reaches(from, to *Block) bool {
+	seen := map[int]bool{}
+	stack := []*Block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == to {
+			return true
+		}
+		if seen[b.Index] {
+			continue
+		}
+		seen[b.Index] = true
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}
+
+func isAssignTo(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) == 0 {
+			return false
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+// TestCFGEarlyReturn: the return's block feeds Exit directly, and the code
+// after the if is reachable only via the non-returning path.
+func TestCFGEarlyReturn(t *testing.T) {
+	body := parseFuncBody(t, `package p
+func f(cond bool) int {
+	before := 1
+	if cond {
+		early := 2
+		return early
+	}
+	after := 3
+	return after
+}`)
+	cfg := BuildCFG(body)
+	// The early return is the one returning `early`.
+	retBlk := blockContaining(t, cfg, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return false
+		}
+		id, ok := ret.Results[0].(*ast.Ident)
+		return ok && id.Name == "early"
+	})
+	if len(retBlk.Succs) != 1 || retBlk.Succs[0] != cfg.Exit {
+		t.Errorf("return block should feed Exit only, has %d succs", len(retBlk.Succs))
+	}
+	afterBlk := blockContaining(t, cfg, isAssignTo("after"))
+	if reaches(retBlk, afterBlk) {
+		t.Error("code after an early return must not be reachable from the return's block")
+	}
+	if !reaches(cfg.Entry, afterBlk) {
+		t.Error("the non-returning path must reach the code after the if")
+	}
+	if !reaches(cfg.Entry, cfg.Exit) {
+		t.Error("exit unreachable from entry")
+	}
+}
+
+// TestCFGLabeledBreak: `break outer` from the inner loop must jump past
+// BOTH loops — the outer header must not be reachable from the break block
+// going forward, while the statement after the outer loop must be.
+func TestCFGLabeledBreak(t *testing.T) {
+	body := parseFuncBody(t, `package p
+func f(n int) int {
+	total := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i*j > 10 {
+				break outer
+			}
+			inner := i * j
+			total += inner
+		}
+		post := i
+		total += post
+	}
+	done := total
+	return done
+}`)
+	cfg := BuildCFG(body)
+	breakBlk := blockContaining(t, cfg, func(n ast.Node) bool {
+		br, ok := n.(*ast.BranchStmt)
+		return ok && br.Tok == token.BREAK
+	})
+	// blockContaining can match the if-statement's block; walk to the block
+	// whose own statement list holds the BranchStmt.
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			if br, ok := n.(*ast.BranchStmt); ok && br.Tok == token.BREAK {
+				breakBlk = blk
+			}
+		}
+	}
+	doneBlk := blockContaining(t, cfg, isAssignTo("done"))
+	postBlk := blockContaining(t, cfg, isAssignTo("post"))
+	if !reaches(breakBlk, doneBlk) {
+		t.Error("break outer must reach the code after the outer loop")
+	}
+	if reaches(breakBlk, postBlk) {
+		t.Error("break outer must not fall into the outer loop's trailing body")
+	}
+	if !reaches(cfg.Entry, postBlk) || !reaches(cfg.Entry, doneBlk) {
+		t.Error("loop bodies and after-loop code must be reachable from entry")
+	}
+}
+
+// TestCFGDeferInLoop: a defer inside a loop body sits on a cycle (the back
+// edge), and the loop exit still reaches Exit.
+func TestCFGDeferInLoop(t *testing.T) {
+	body := parseFuncBody(t, `package p
+func f(files []string) error {
+	for _, name := range files {
+		defer release(name)
+		use := name
+		_ = use
+	}
+	return nil
+}
+func release(string) {}`)
+	cfg := BuildCFG(body)
+	deferBlk := blockContaining(t, cfg, func(n ast.Node) bool {
+		_, ok := n.(*ast.DeferStmt)
+		return ok
+	})
+	// The defer's block must be inside the loop: some successor path leads
+	// back to it (the range back edge).
+	onCycle := false
+	for _, succ := range deferBlk.Succs {
+		if reaches(succ, deferBlk) {
+			onCycle = true
+		}
+	}
+	if !onCycle {
+		t.Error("defer-in-loop block must sit on the loop's back-edge cycle")
+	}
+	if !reaches(deferBlk, cfg.Exit) {
+		t.Error("loop must still reach Exit")
+	}
+}
+
+// TestCFGReachingDefsThroughBranches: the reaching-definitions solver must
+// merge both branch definitions at the join and kill the original.
+func TestCFGReachingDefsThroughBranches(t *testing.T) {
+	src := `package p
+func f(cond bool) []int {
+	x := []int{1}
+	if cond {
+		x = []int{2}
+	} else {
+		x = []int{3}
+	}
+	return x
+}`
+	// Reaching defs needs type info (Defs/Uses), so load through the corpus
+	// loader rather than the bare parser.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "rd.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := NewLoader().LoadDir(dir, "corpus/rd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fd *ast.FuncDecl
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			if d, ok := d.(*ast.FuncDecl); ok && d.Name.Name == "f" {
+				fd = d
+			}
+		}
+	}
+	if fd == nil {
+		t.Fatal("f not found")
+	}
+	cfg := BuildCFG(fd.Body)
+	rd := SolveReachingDefs(cfg, pkg.Info, fd.Body, nil)
+
+	// Find the return block and the object for x.
+	var retBlk *Block
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				retBlk = blk
+			}
+		}
+	}
+	if retBlk == nil {
+		t.Fatal("no return block")
+	}
+	got := 0
+	rd.Walk(retBlk, func(n ast.Node, live defSet) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		id := ret.Results[0].(*ast.Ident)
+		obj := pkg.Info.Uses[id]
+		got = len(rd.ReachingAt(obj, live))
+	})
+	if got != 2 {
+		t.Errorf("defs of x reaching the return = %d, want 2 (one per branch; initial def killed on both paths)", got)
+	}
+}

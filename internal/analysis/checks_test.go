@@ -20,6 +20,9 @@ func TestChecksCorpus(t *testing.T) {
 		{"testdata/apierr/core", "corpus/apierr/core", AnalyzerAPIErr},
 		{"testdata/apierr/other", "corpus/apierr/other", AnalyzerAPIErr},
 		{"testdata/suppress", "corpus/suppress", AnalyzerFloatOrder},
+		{"testdata/poolescape", "corpus/poolescape", AnalyzerPoolEscape},
+		{"testdata/guardedby", "corpus/guardedby", AnalyzerGuardedBy},
+		{"testdata/goleak", "corpus/goleak", AnalyzerGoLeak},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -34,8 +37,8 @@ func TestChecksCorpus(t *testing.T) {
 // documented, and at least the six tentpole checks exist.
 func TestChecksRegistry(t *testing.T) {
 	checks := Checks()
-	if len(checks) < 6 {
-		t.Fatalf("got %d checks, want >= 6", len(checks))
+	if len(checks) < 9 {
+		t.Fatalf("got %d checks, want >= 9", len(checks))
 	}
 	seen := map[string]bool{}
 	for i, a := range checks {
@@ -50,7 +53,7 @@ func TestChecksRegistry(t *testing.T) {
 			t.Errorf("checks not sorted: %q before %q", checks[i-1].ID, a.ID)
 		}
 	}
-	for _, id := range []string{"apierr", "closecheck", "floatorder", "maporder", "timenow", "waitgroup"} {
+	for _, id := range []string{"apierr", "closecheck", "floatorder", "goleak", "guardedby", "maporder", "poolescape", "timenow", "waitgroup"} {
 		if !seen[id] {
 			t.Errorf("missing required check %q", id)
 		}

@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the dataflow half of the engine (DESIGN.md §11): a
+// reaching-definitions analysis over the CFG in cfg.go. Definitions are
+// collected per local object (params, named results, :=/=/op= targets,
+// range variables, var decls), solved block-wise with the classic gen/kill
+// worklist, and then replayed node-by-node so a client can ask "which
+// definitions of x reach this use site". poolescape builds its escape
+// lattice on top; the CFG alone carries the lock-state analysis in
+// guardedby.
+
+// Def is one definition site of a local object.
+type Def struct {
+	// Obj is the defined local (variable object from go/types).
+	Obj types.Object
+	// RHS is the defining expression when the definition has one
+	// (x := e, x = e, x op= e). Nil for params, var decls without values,
+	// and range variables.
+	RHS ast.Expr
+	// Node is the statement or CFG node the definition occurs in; params
+	// and named results use the function body itself.
+	Node ast.Node
+	// id indexes the def in the function's def list.
+	id int
+}
+
+// defSet is a sparse set of def ids.
+type defSet map[int]struct{}
+
+func (s defSet) clone() defSet {
+	c := make(defSet, len(s))
+	for k := range s {
+		c[k] = struct{}{}
+	}
+	return c
+}
+
+func (s defSet) equal(o defSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if _, ok := o[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ReachingDefs is the solved analysis for one function.
+type ReachingDefs struct {
+	cfg  *CFG
+	info *types.Info
+	// Defs lists every definition, in collection order.
+	Defs []*Def
+	// byObj groups def ids per object, for kill sets.
+	byObj map[types.Object][]int
+	// in is each block's entry def set.
+	in []defSet
+}
+
+// SolveReachingDefs collects the definitions of body (a function with the
+// given parameter/result objects defined at entry) and solves the forward
+// may-analysis over cfg.
+func SolveReachingDefs(cfg *CFG, info *types.Info, body *ast.BlockStmt, entryObjs []types.Object) *ReachingDefs {
+	r := &ReachingDefs{cfg: cfg, info: info, byObj: map[types.Object][]int{}}
+
+	// Entry definitions: parameters, receivers, named results.
+	entry := defSet{}
+	for _, obj := range entryObjs {
+		d := r.addDef(obj, nil, body)
+		entry[d.id] = struct{}{}
+	}
+	// Walk every block collecting defs in node order; remember each node's
+	// defs for the transfer function.
+	defsAt := make(map[ast.Node][]*Def)
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			for _, d := range r.collectNodeDefs(n) {
+				defsAt[n] = append(defsAt[n], d)
+			}
+		}
+	}
+
+	// Iterate to fixpoint. in[b] = union of out[pred]; out computed by
+	// replaying the block's gen/kill.
+	r.in = make([]defSet, len(cfg.Blocks))
+	for i := range r.in {
+		r.in[i] = defSet{}
+	}
+	r.in[cfg.Entry.Index] = entry
+	out := make([]defSet, len(cfg.Blocks))
+	transfer := func(blk *Block) defSet {
+		cur := r.in[blk.Index].clone()
+		for _, n := range blk.Nodes {
+			for _, d := range defsAt[n] {
+				r.apply(cur, d)
+			}
+		}
+		return cur
+	}
+	work := []*Block{cfg.Entry}
+	inWork := make([]bool, len(cfg.Blocks))
+	inWork[cfg.Entry.Index] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		inWork[blk.Index] = false
+		o := transfer(blk)
+		if out[blk.Index] != nil && o.equal(out[blk.Index]) {
+			continue
+		}
+		out[blk.Index] = o
+		for _, succ := range blk.Succs {
+			changed := false
+			for id := range o {
+				if _, ok := r.in[succ.Index][id]; !ok {
+					r.in[succ.Index][id] = struct{}{}
+					changed = true
+				}
+			}
+			if changed && !inWork[succ.Index] {
+				inWork[succ.Index] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return r
+}
+
+// apply updates cur with one definition: kill every other def of the same
+// object, then gen d.
+func (r *ReachingDefs) apply(cur defSet, d *Def) {
+	for _, id := range r.byObj[d.Obj] {
+		delete(cur, id)
+	}
+	cur[d.id] = struct{}{}
+}
+
+// Walk replays one block: fn is called for every node with the def set
+// live at that node's entry. The set is mutated in place as defs apply;
+// callers must not retain it across calls.
+func (r *ReachingDefs) Walk(blk *Block, fn func(n ast.Node, live defSet)) {
+	cur := r.in[blk.Index].clone()
+	for _, n := range blk.Nodes {
+		fn(n, cur)
+		for _, d := range r.collectNodeDefs(n) {
+			r.apply(cur, d)
+		}
+	}
+}
+
+// ReachingAt returns the defs of obj in live.
+func (r *ReachingDefs) ReachingAt(obj types.Object, live defSet) []*Def {
+	var out []*Def
+	for _, id := range r.byObj[obj] {
+		if _, ok := live[id]; ok {
+			out = append(out, r.Defs[id])
+		}
+	}
+	return out
+}
+
+// addDef registers a definition, deduplicating on (obj, node, rhs) so the
+// collection pass and the replay pass agree on ids.
+func (r *ReachingDefs) addDef(obj types.Object, rhs ast.Expr, node ast.Node) *Def {
+	for _, id := range r.byObj[obj] {
+		d := r.Defs[id]
+		if d.Node == node && d.RHS == rhs {
+			return d
+		}
+	}
+	d := &Def{Obj: obj, RHS: rhs, Node: node, id: len(r.Defs)}
+	r.Defs = append(r.Defs, d)
+	r.byObj[obj] = append(r.byObj[obj], d.id)
+	return d
+}
+
+// collectNodeDefs extracts the definitions a single CFG node performs.
+// Nested function literals are opaque: their assignments run at call time
+// and never redefine the enclosing function's view deterministically, so
+// treating them as non-defs is the conservative (may-reach) choice.
+func (r *ReachingDefs) collectNodeDefs(n ast.Node) []*Def {
+	var defs []*Def
+	def := func(id *ast.Ident, rhs ast.Expr, at ast.Node) {
+		if id.Name == "_" {
+			return
+		}
+		obj := r.info.Defs[id]
+		if obj == nil {
+			obj = r.info.Uses[id]
+		}
+		if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Pkg() != nil {
+			defs = append(defs, r.addDef(obj, rhs, at))
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var rhs ast.Expr
+			if len(n.Rhs) == len(n.Lhs) {
+				rhs = n.Rhs[i]
+			} else if len(n.Rhs) == 1 {
+				// Multi-value: x, y := f() — both defs carry the call.
+				rhs = n.Rhs[0]
+			}
+			if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+				// x += e redefines x from both its old value and e; keep
+				// the RHS so taint flows, the kill still applies.
+				rhs = n.Rhs[0]
+			}
+			def(id, rhs, n)
+		}
+	case *ast.IncDecStmt:
+		if id, ok := n.X.(*ast.Ident); ok {
+			def(id, nil, n)
+		}
+	case *ast.RangeStmt:
+		if id, ok := n.Key.(*ast.Ident); ok {
+			def(id, nil, n)
+		}
+		if id, ok := n.Value.(*ast.Ident); ok {
+			def(id, nil, n)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					} else if len(vs.Values) == 1 {
+						rhs = vs.Values[0]
+					}
+					def(id, rhs, n)
+				}
+			}
+		}
+	}
+	return defs
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerGoLeak flags goroutines that can outlive their function's
+// cancellation signal. A function that takes a context.Context or a done
+// channel (chan struct{} / <-chan struct{}) advertises that its work is
+// cancelable; a goroutine it launches must therefore be tied to the
+// function's lifetime in one of the sanctioned ways:
+//
+//   - it observes the cancellation parameter (selects on ctx.Done() / the
+//     done channel, or passes the context along);
+//   - it is joined by a sync.WaitGroup (the goroutine calls wg.Done, and
+//     the waitgroup check already enforces the Add-before-go discipline);
+//   - it is collected through a channel: the goroutine sends its result on
+//     a channel the spawning function receives from (the
+//     serve-error-channel pattern in core.Server.Serve).
+//
+// Anything else keeps running after cancellation with no way to stop it —
+// the goroutine leak class the §8 shutdown hardening exists to prevent.
+var AnalyzerGoLeak = &Analyzer{
+	ID:       "goleak",
+	Doc:      "goroutines in cancelable functions (ctx/done-channel params) must observe cancellation, be WaitGroup-joined, or be channel-collected",
+	Severity: SevError,
+	Run:      runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			cancelParams := cancellationParams(pass, fd.Type)
+			if len(cancelParams) == 0 {
+				continue
+			}
+			checkGoLeak(pass, fd.Body, cancelParams)
+		}
+	}
+}
+
+// cancellationParams returns the parameter objects that signal
+// cancellation: context.Context values and struct{} channels.
+func cancellationParams(pass *Pass, ftype *ast.FuncType) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if ftype.Params == nil {
+		return out
+	}
+	for _, field := range ftype.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if isContextType(obj.Type()) || isDoneChanType(obj.Type()) {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+func isDoneChanType(t types.Type) bool {
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok || ch.Dir() == types.SendOnly {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// checkGoLeak inspects every go statement in body (including those inside
+// nested literals — they inherit the enclosing cancellation contract).
+func checkGoLeak(pass *Pass, body *ast.BlockStmt, cancelParams map[types.Object]bool) {
+	// collected maps channel objects the function receives from; a
+	// goroutine sending its result there is joined by collection.
+	collected := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+			if id, ok := unparen(u.X).(*ast.Ident); ok {
+				if obj := objOf(pass, id); obj != nil {
+					collected[obj] = true
+				}
+			}
+		}
+		if rng, ok := n.(*ast.RangeStmt); ok {
+			if id, ok := unparen(rng.X).(*ast.Ident); ok {
+				if tv, ok := pass.Info.Types[rng.X]; ok && tv.Type != nil {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						if obj := objOf(pass, id); obj != nil {
+							collected[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		gostmt, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if goStmtJoined(pass, gostmt, cancelParams, collected) {
+			return true
+		}
+		pass.Reportf(gostmt.Pos(), "goroutine in a cancelable function neither observes ctx/done, is WaitGroup-joined, nor is collected via a channel: it can outlive cancellation")
+		return true
+	})
+}
+
+// goStmtJoined decides whether one go statement is lifetime-bounded.
+func goStmtJoined(pass *Pass, gostmt *ast.GoStmt, cancelParams map[types.Object]bool, collected map[types.Object]bool) bool {
+	call := gostmt.Call
+	// 1. The cancellation parameter is passed to the spawned function.
+	for _, arg := range call.Args {
+		if exprMentions(pass, arg, cancelParams) {
+			return true
+		}
+	}
+	lit, isLit := unparen(call.Fun).(*ast.FuncLit)
+	if !isLit {
+		// go method-value or named function without ctx args: nothing ties
+		// it to this function's lifetime that we can see.
+		return false
+	}
+	joined := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			// 2. The closure observes ctx / the done channel.
+			if obj := pass.Info.Uses[n]; obj != nil && cancelParams[obj] {
+				joined = true
+			}
+		case *ast.CallExpr:
+			// 3. The closure signals a WaitGroup.
+			if obj, ok := isSyncMethodCall(pass, n, "WaitGroup", "Done"); ok && obj != nil {
+				joined = true
+			}
+		case *ast.SendStmt:
+			// 4. The closure hands its result to a channel the spawning
+			// function receives from.
+			if id, ok := unparen(n.Chan).(*ast.Ident); ok {
+				if obj := objOf(pass, id); obj != nil && collected[obj] {
+					joined = true
+				}
+			}
+		}
+		return true
+	})
+	return joined
+}
+
+// exprMentions reports whether e references any of the given objects.
+func exprMentions(pass *Pass, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSyncMethodCall reports whether call is recv.method() with recv of type
+// sync.<typeName>, returning the receiver object when resolvable.
+func isSyncMethodCall(pass *Pass, call *ast.CallExpr, typeName, method string) (types.Object, bool) {
+	return isSyncMethod(pass, call, map[string]bool{typeName: true}, method)
+}

@@ -1,0 +1,405 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerPoolEscape machine-enforces the scratch-arena ownership rule from
+// DESIGN.md §10: a value obtained from sync.Pool.Get — or anything
+// reachable from one (a field, an element, a slice of the arena, or the
+// result of a call the arena was passed to) — is owned by the pool and must
+// not outlive the function that borrowed it. Escapes flagged: returning it,
+// storing it into a field, global, map, or dereferenced pointer, sending it
+// on a channel, and capturing it in a go-launched closure. Passing it down
+// a call chain and deferring (the canonical `defer pool.Put(sc)`) are fine:
+// both complete before the function returns.
+//
+// The analysis is a conservative intraprocedural escape lattice over the
+// reaching-definitions solution (dataflow.go): a local is pool-owned at a
+// use iff any pool-tainted definition reaches it, so re-binding the local
+// to a fresh copy (`out := make(...); copy(out, res)` or
+// `res = append([]float64(nil), res...)`) correctly clears ownership.
+var AnalyzerPoolEscape = &Analyzer{
+	ID:       "poolescape",
+	Doc:      "values from sync.Pool.Get must not escape the borrowing function (return/field/global/map/channel/goroutine)",
+	Severity: SevError,
+	Run:      runPoolEscape,
+}
+
+func runPoolEscape(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkPoolEscape(pass, n.Type, n.Body)
+				}
+			case *ast.FuncLit:
+				// Each literal is its own borrowing scope; nested literals
+				// are visited (and analyzed) by the continuing walk.
+				checkPoolEscape(pass, n.Type, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// isPoolGet reports whether call is (*sync.Pool).Get.
+func isPoolGet(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" {
+		return false
+	}
+	selection := pass.Info.Selections[sel]
+	if selection == nil {
+		return false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Pool"
+}
+
+// pointerLike reports whether t can carry a reference to pooled storage:
+// pointers, slices, maps, channels, funcs, interfaces, and composites
+// containing any of those. Plain scalars copied out of an arena (a float,
+// an int length) are safe by value.
+func pointerLike(t types.Type) bool {
+	switch t := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan,
+		*types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return t.Kind() == types.String || t.Kind() == types.UnsafePointer
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if pointerLike(t.Field(i).Type()) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return pointerLike(t.Elem())
+	}
+	return false
+}
+
+// poolEscapeScope carries one function's analysis state.
+type poolEscapeScope struct {
+	pass    *Pass
+	rd      *ReachingDefs
+	tainted map[int]bool // def id -> pool-owned
+}
+
+// checkPoolEscape analyzes one function body.
+func checkPoolEscape(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	// Fast pre-pass: skip functions that never touch a pool.
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isPoolGet(pass, call) {
+			found = true
+		}
+		return !found
+	})
+	if !found {
+		return
+	}
+
+	cfg := BuildCFG(body)
+	rd := SolveReachingDefs(cfg, pass.Info, body, paramObjs(pass, ftype))
+	sc := &poolEscapeScope{pass: pass, rd: rd, tainted: map[int]bool{}}
+
+	// Escape-lattice fixpoint: a def is pool-owned when its RHS evaluates
+	// tainted under the defs reaching its own site. RHS taint can depend on
+	// other defs, so iterate until stable (the lattice only grows).
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range cfg.Blocks {
+			rd.Walk(blk, func(n ast.Node, live defSet) {
+				for _, d := range rd.collectNodeDefs(n) {
+					if d.RHS == nil || sc.tainted[d.id] {
+						continue
+					}
+					if pointerLike(d.Obj.Type()) && sc.exprTainted(d.RHS, live) {
+						sc.tainted[d.id] = true
+						changed = true
+					}
+				}
+			})
+		}
+	}
+
+	// Violation scan with the converged lattice.
+	for _, blk := range cfg.Blocks {
+		rd.Walk(blk, func(n ast.Node, live defSet) {
+			sc.checkNode(n, live)
+		})
+	}
+}
+
+// paramObjs resolves the parameter and named-result objects of a function
+// type; they seed the reaching-defs entry set (and are never pool-owned).
+func paramObjs(pass *Pass, ftype *ast.FuncType) []types.Object {
+	var objs []types.Object
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					objs = append(objs, obj)
+				}
+			}
+		}
+	}
+	collect(ftype.Params)
+	collect(ftype.Results)
+	return objs
+}
+
+// exprTainted evaluates the escape lattice on one expression given the
+// live reaching definitions.
+func (sc *poolEscapeScope) exprTainted(e ast.Expr, live defSet) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := sc.pass.Info.Uses[e]
+		if obj == nil {
+			obj = sc.pass.Info.Defs[e]
+		}
+		if obj == nil {
+			return false
+		}
+		for _, d := range sc.rd.ReachingAt(obj, live) {
+			if sc.tainted[d.id] {
+				return true
+			}
+		}
+		return false
+	case *ast.SelectorExpr:
+		// A field of the arena is arena-owned.
+		return sc.exprTainted(e.X, live)
+	case *ast.IndexExpr:
+		return sc.exprTainted(e.X, live)
+	case *ast.SliceExpr:
+		return sc.exprTainted(e.X, live)
+	case *ast.StarExpr:
+		return sc.exprTainted(e.X, live)
+	case *ast.ParenExpr:
+		return sc.exprTainted(e.X, live)
+	case *ast.UnaryExpr:
+		return sc.exprTainted(e.X, live)
+	case *ast.TypeAssertExpr:
+		// pool.Get().(*T) — the canonical borrow.
+		return sc.exprTainted(e.X, live)
+	case *ast.CallExpr:
+		return sc.callTainted(e, live)
+	case *ast.CompositeLit:
+		// Wrapping the arena in a struct/slice keeps it pool-owned.
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if sc.exprTainted(el, live) {
+				return true
+			}
+		}
+		return false
+	case *ast.FuncLit:
+		// A closure capturing a pool-owned local carries the arena with it.
+		return sc.closureCaptures(e, live)
+	case *ast.BinaryExpr:
+		// Comparisons and arithmetic produce fresh scalars.
+		return false
+	}
+	return false
+}
+
+// callTainted models calls: pool.Get seeds the lattice; builtins that
+// allocate (make, new) are fresh; append is tainted only when its backing
+// array or a pointer-like element is; any other call is conservatively
+// tainted when the arena is among its arguments and the result can hold a
+// reference (a helper handed the arena frequently returns a view into it —
+// exactly how embedFast returns sc.out).
+func (sc *poolEscapeScope) callTainted(call *ast.CallExpr, live defSet) bool {
+	if isPoolGet(sc.pass, call) {
+		return true
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		switch sc.builtinName(id) {
+		case "make", "new", "len", "cap", "copy", "min", "max", "delete", "clear":
+			return false
+		case "append":
+			if len(call.Args) == 0 {
+				return false
+			}
+			if sc.exprTainted(call.Args[0], live) {
+				return true
+			}
+			for i, arg := range call.Args[1:] {
+				if !sc.exprTainted(arg, live) {
+					continue
+				}
+				// appending values: x... of a scalar element type copies
+				// scalars out of the arena — safe; appending a pointer-like
+				// element retains a reference.
+				if call.Ellipsis.IsValid() && i == len(call.Args)-2 {
+					if slice, ok := sc.pass.Info.Types[arg].Type.Underlying().(*types.Slice); ok && !pointerLike(slice.Elem()) {
+						continue
+					}
+				}
+				return true
+			}
+			return false
+		}
+	}
+	// Type conversions of tainted values stay tainted.
+	if tv, ok := sc.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return len(call.Args) == 1 && sc.exprTainted(call.Args[0], live)
+	}
+	tv, ok := sc.pass.Info.Types[call]
+	if !ok || !pointerLike(tv.Type) {
+		return false
+	}
+	for _, arg := range call.Args {
+		if sc.exprTainted(arg, live) {
+			return true
+		}
+	}
+	// Method value on the arena: sc.buf.Reset() style — receiver tainted.
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && sc.pass.Info.Selections[sel] != nil {
+		return sc.exprTainted(sel.X, live)
+	}
+	return false
+}
+
+func (sc *poolEscapeScope) builtinName(id *ast.Ident) string {
+	if _, ok := sc.pass.Info.Uses[id].(*types.Builtin); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// closureCaptures reports whether lit references a local that has any
+// pool-tainted definition. Flow-insensitive inside the literal (it may run
+// at any later time, so every def of the captured variable is in play).
+func (sc *poolEscapeScope) closureCaptures(lit *ast.FuncLit, live defSet) bool {
+	_ = live
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		obj := sc.pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		for _, defID := range sc.rd.byObj[obj] {
+			if sc.tainted[defID] {
+				captured = true
+			}
+		}
+		return true
+	})
+	return captured
+}
+
+// checkNode reports the escapes one CFG node performs.
+func (sc *poolEscapeScope) checkNode(n ast.Node, live defSet) {
+	switch n := n.(type) {
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			if sc.escapeCarrier(res) && sc.exprTainted(res, live) {
+				sc.pass.Reportf(res.Pos(), "pooled scratch escapes: returned value is owned by a sync.Pool; copy into a fresh buffer before returning")
+			}
+		}
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			var rhs ast.Expr
+			if len(n.Rhs) == len(n.Lhs) {
+				rhs = n.Rhs[i]
+			} else if len(n.Rhs) == 1 {
+				rhs = n.Rhs[0]
+			}
+			if rhs == nil || !sc.escapeCarrier(rhs) || !sc.exprTainted(rhs, live) {
+				continue
+			}
+			sc.checkStore(lhs, live)
+		}
+	case *ast.SendStmt:
+		if sc.escapeCarrier(n.Value) && sc.exprTainted(n.Value, live) {
+			sc.pass.Reportf(n.Value.Pos(), "pooled scratch escapes: sent on a channel; the receiver outlives the borrowing function")
+		}
+	case *ast.GoStmt:
+		sc.checkGoCall(n.Call, live)
+	}
+}
+
+// escapeCarrier reports whether e's type can carry a reference out of the
+// function. Scalars read from the arena (sc.out[0], len(sc.buf)) escape by
+// value and are always safe.
+func (sc *poolEscapeScope) escapeCarrier(e ast.Expr) bool {
+	tv, ok := sc.pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return true // unknown type: stay conservative
+	}
+	return pointerLike(tv.Type)
+}
+
+// checkStore classifies an assignment target holding a tainted value.
+func (sc *poolEscapeScope) checkStore(lhs ast.Expr, live defSet) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		obj := sc.pass.Info.Uses[lhs]
+		if obj == nil {
+			obj = sc.pass.Info.Defs[lhs]
+		}
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			sc.pass.Reportf(lhs.Pos(), "pooled scratch escapes: stored in package-level variable %s", lhs.Name)
+		}
+		// Local rebinding is ownership transfer within the function: fine.
+	case *ast.SelectorExpr:
+		// Storing into a field of the arena itself keeps the value inside
+		// the pool's ownership; anything else pins pooled memory.
+		if !sc.exprTainted(lhs.X, live) {
+			sc.pass.Reportf(lhs.Pos(), "pooled scratch escapes: stored in field %s of a non-pooled value", lhs.Sel.Name)
+		}
+	case *ast.IndexExpr:
+		if !sc.exprTainted(lhs.X, live) {
+			sc.pass.Reportf(lhs.Pos(), "pooled scratch escapes: stored in a map or slice that outlives the borrow")
+		}
+	case *ast.StarExpr:
+		if !sc.exprTainted(lhs.X, live) {
+			sc.pass.Reportf(lhs.Pos(), "pooled scratch escapes: stored through a pointer that outlives the borrow")
+		}
+	}
+}
+
+// checkGoCall flags pooled values handed to a goroutine: both explicit
+// arguments and closure captures race with the pool once the spawning
+// function returns the arena.
+func (sc *poolEscapeScope) checkGoCall(call *ast.CallExpr, live defSet) {
+	for _, arg := range call.Args {
+		if sc.escapeCarrier(arg) && sc.exprTainted(arg, live) {
+			sc.pass.Reportf(arg.Pos(), "pooled scratch escapes: passed to a goroutine that may outlive the borrowing function")
+		}
+	}
+	if lit, ok := unparen(call.Fun).(*ast.FuncLit); ok && sc.closureCaptures(lit, live) {
+		sc.pass.Reportf(call.Pos(), "pooled scratch escapes: captured by a go-launched closure that may outlive the borrowing function")
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// loadRepo loads every package of the enclosing module, exactly as the
+// ddlvet binary's default `./...` invocation does.
+func loadRepo(tb testing.TB) []*Package {
+	tb.Helper()
+	root, err := ModuleRoot(".")
+	if err != nil {
+		tb.Fatalf("module root: %v", err)
+	}
+	pkgs, err := NewLoader().LoadModule(root)
+	if err != nil {
+		tb.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		tb.Fatal("no packages loaded")
+	}
+	return pkgs
+}
+
+// TestDdlvetSelfRunBudget runs the full check set over this repository and
+// enforces two contracts at once: the run stays inside its wall-clock
+// budget (the `make verify` gate must stay fast enough to run on every
+// commit), and the tree is clean — zero unsuppressed diagnostics. The
+// budget defaults to 120s (a loose multiple of the ~10s baseline, slack
+// for loaded CI machines) and can be tuned with DDLVET_BUDGET_SECONDS.
+func TestDdlvetSelfRunBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-run budget skipped in -short mode")
+	}
+	budget := 120 * time.Second
+	if env := os.Getenv("DDLVET_BUDGET_SECONDS"); env != "" {
+		secs, err := strconv.Atoi(env)
+		if err != nil || secs <= 0 {
+			t.Fatalf("bad DDLVET_BUDGET_SECONDS %q", env)
+		}
+		budget = time.Duration(secs) * time.Second
+	}
+	start := time.Now()
+	pkgs := loadRepo(t)
+	checks := Checks()
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, RunChecks(pkg, checks)...)
+	}
+	elapsed := time.Since(start)
+	for _, d := range diags {
+		t.Errorf("unsuppressed diagnostic in the tree: %s", d)
+	}
+	if elapsed > budget {
+		t.Errorf("ddlvet self-run took %v, over the %v budget", elapsed, budget)
+	}
+	t.Logf("ddlvet self-run: %d packages, %v", len(pkgs), elapsed)
+}
+
+// BenchmarkDdlvetRepo measures the analysis cost alone (load once, run the
+// checks per iteration) so a dataflow-engine regression shows up as a
+// per-op jump rather than being drowned by type-checking time.
+func BenchmarkDdlvetRepo(b *testing.B) {
+	pkgs := loadRepo(b)
+	checks := Checks()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, pkg := range pkgs {
+			n += len(RunChecks(pkg, checks))
+		}
+		if n != 0 {
+			b.Fatalf("%d unexpected diagnostics", n)
+		}
+	}
+}
+
+// BenchmarkDdlvetLoadAndRun measures the end-to-end gate, type-checking
+// included — what `make ddlvet` actually costs.
+func BenchmarkDdlvetLoadAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pkgs := loadRepo(b)
+		checks := Checks()
+		for _, pkg := range pkgs {
+			RunChecks(pkg, checks)
+		}
+	}
+}

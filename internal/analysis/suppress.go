@@ -9,15 +9,20 @@ import (
 // ignorePrefix introduces a suppression directive comment.
 const ignorePrefix = "//ddlvet:ignore"
 
-// Ignore is one parsed //ddlvet:ignore directive.
+// Ignore is one parsed //ddlvet:ignore directive. A single directive may
+// suppress several checks on its line:
+//
+//	//ddlvet:ignore poolescape,guardedby reason...
 type Ignore struct {
-	Check  string // check ID being suppressed
-	Reason string // mandatory human justification
+	Checks []string // check IDs being suppressed (at least one)
+	Reason string   // mandatory human justification
 }
 
 // ParseIgnore parses the text of a single comment. ok reports whether the
 // comment is a ddlvet directive at all; err is non-nil when it is a
-// directive but malformed (unknown shape, missing check ID or reason).
+// directive but malformed (unknown shape, missing check ID or reason,
+// empty ID in a comma list). Check-ID existence is validated later, in
+// collectSuppressions, where the registry is known.
 func ParseIgnore(comment string) (ig Ignore, ok bool, err error) {
 	if !strings.HasPrefix(comment, ignorePrefix) {
 		return Ignore{}, false, nil
@@ -34,22 +39,48 @@ func ParseIgnore(comment string) (ig Ignore, ok bool, err error) {
 	if len(fields) == 1 {
 		return Ignore{}, true, fmt.Errorf("ddlvet:ignore %s needs a reason", fields[0])
 	}
-	return Ignore{Check: fields[0], Reason: strings.Join(fields[1:], " ")}, true, nil
+	ids := strings.Split(fields[0], ",")
+	for _, id := range ids {
+		if id == "" {
+			return Ignore{}, true, fmt.Errorf("ddlvet:ignore %s has an empty check ID in its comma list", fields[0])
+		}
+	}
+	return Ignore{Checks: ids, Reason: strings.Join(fields[1:], " ")}, true, nil
+}
+
+// knownCheckIDs is the set a directive may name: every registered check
+// plus the "ignore" pseudo-check itself.
+func knownCheckIDs() map[string]bool {
+	known := map[string]bool{"ignore": true}
+	for _, a := range Checks() {
+		known[a.ID] = true
+	}
+	return known
 }
 
 // suppressions indexes a file's directives by line number.
 type suppressions map[int][]Ignore
 
-// collectSuppressions scans one file's comments. Malformed directives are
-// reported as diagnostics under the pseudo-check "ignore" (error severity)
-// so a typo never silently re-enables a finding.
+// collectSuppressions scans one file's comments. Malformed directives —
+// bad shape, missing reason, or a check ID that no registered check owns —
+// are reported as diagnostics under the pseudo-check "ignore" (error
+// severity) so a typo never silently re-enables a finding.
 func collectSuppressions(pkg *Package, f *ast.File, report func(Diagnostic)) suppressions {
 	sup := suppressions{}
+	known := knownCheckIDs()
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			ig, ok, err := ParseIgnore(c.Text)
 			if !ok {
 				continue
+			}
+			if err == nil {
+				for _, id := range ig.Checks {
+					if !known[id] {
+						err = fmt.Errorf("ddlvet:ignore names unknown check %q (run `ddlvet -list` for valid IDs)", id)
+						break
+					}
+				}
 			}
 			line := pkg.Fset.Position(c.Pos()).Line
 			if err != nil {
@@ -91,8 +122,10 @@ func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
 func (s suppressions) covers(check string, line int) bool {
 	for _, l := range []int{line, line - 1} {
 		for _, ig := range s[l] {
-			if ig.Check == check {
-				return true
+			for _, id := range ig.Checks {
+				if id == check {
+					return true
+				}
 			}
 		}
 	}

@@ -14,13 +14,18 @@ func TestParseIgnore(t *testing.T) {
 		comment string
 		ok      bool // recognized as a ddlvet directive
 		wantErr string
-		check   string
+		checks  []string
 		reason  string
 	}{
-		{name: "well formed", comment: "//ddlvet:ignore floatorder mean is cosmetic here", ok: true, check: "floatorder", reason: "mean is cosmetic here"},
-		{name: "tab separated", comment: "//ddlvet:ignore\tmaporder\tlegacy output order", ok: true, check: "maporder", reason: "legacy output order"},
-		{name: "multi word reason", comment: "//ddlvet:ignore apierr the caller wraps with request context", ok: true, check: "apierr", reason: "the caller wraps with request context"},
+		{name: "well formed", comment: "//ddlvet:ignore floatorder mean is cosmetic here", ok: true, checks: []string{"floatorder"}, reason: "mean is cosmetic here"},
+		{name: "tab separated", comment: "//ddlvet:ignore\tmaporder\tlegacy output order", ok: true, checks: []string{"maporder"}, reason: "legacy output order"},
+		{name: "multi word reason", comment: "//ddlvet:ignore apierr the caller wraps with request context", ok: true, checks: []string{"apierr"}, reason: "the caller wraps with request context"},
+		{name: "comma list", comment: "//ddlvet:ignore poolescape,guardedby borrowed under lock for the call", ok: true, checks: []string{"poolescape", "guardedby"}, reason: "borrowed under lock for the call"},
+		{name: "comma list of three", comment: "//ddlvet:ignore apierr,timenow,maporder test fixture", ok: true, checks: []string{"apierr", "timenow", "maporder"}, reason: "test fixture"},
 		{name: "missing reason", comment: "//ddlvet:ignore closecheck", ok: true, wantErr: "needs a reason"},
+		{name: "comma list missing reason", comment: "//ddlvet:ignore poolescape,guardedby", ok: true, wantErr: "needs a reason"},
+		{name: "empty ID in list", comment: "//ddlvet:ignore poolescape,,guardedby reason", ok: true, wantErr: "empty check ID"},
+		{name: "trailing comma", comment: "//ddlvet:ignore poolescape, reason", ok: true, wantErr: "empty check ID"},
 		{name: "missing everything", comment: "//ddlvet:ignore", ok: true, wantErr: "needs a check ID and a reason"},
 		{name: "missing everything trailing space", comment: "//ddlvet:ignore   ", ok: true, wantErr: "needs a check ID and a reason"},
 		{name: "not a directive", comment: "// plain comment", ok: false},
@@ -45,8 +50,8 @@ func TestParseIgnore(t *testing.T) {
 			if !tc.ok {
 				return
 			}
-			if ig.Check != tc.check || ig.Reason != tc.reason {
-				t.Fatalf("got (%q, %q), want (%q, %q)", ig.Check, ig.Reason, tc.check, tc.reason)
+			if strings.Join(ig.Checks, "|") != strings.Join(tc.checks, "|") || ig.Reason != tc.reason {
+				t.Fatalf("got (%q, %q), want (%q, %q)", ig.Checks, ig.Reason, tc.checks, tc.reason)
 			}
 		})
 	}
@@ -89,5 +94,94 @@ func Sum(m map[string]float64) float64 {
 	}
 	if !gotIgnore || !gotFloat {
 		t.Fatalf("want both ignore and floatorder diagnostics, got %v", diags)
+	}
+}
+
+// TestUnknownCheckIDReported: a directive naming a check no analyzer owns
+// is itself a diagnostic — the waiver never silently applies.
+func TestUnknownCheckIDReported(t *testing.T) {
+	dir := t.TempDir()
+	src := `package broken
+
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v //ddlvet:ignore floatorderr summation order is fine
+	}
+	return s
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := NewLoader().LoadDir(dir, "corpus/broken")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunChecks(pkg, []*Analyzer{AnalyzerFloatOrder})
+	var gotIgnore, gotFloat bool
+	for _, d := range diags {
+		switch d.Check {
+		case "ignore":
+			gotIgnore = true
+			if !strings.Contains(d.Message, `unknown check "floatorderr"`) {
+				t.Errorf("ignore diagnostic message = %q", d.Message)
+			}
+		case "floatorder":
+			gotFloat = true
+		}
+	}
+	if !gotIgnore || !gotFloat {
+		t.Fatalf("want both ignore and floatorder diagnostics, got %v", diags)
+	}
+}
+
+// TestCommaListSuppressesAll: one //ddlvet:ignore a,b directive covers
+// findings from both named checks on its line.
+func TestCommaListSuppressesAll(t *testing.T) {
+	dir := t.TempDir()
+	// Package path ends in "tensor" so the timenow check's Match accepts it;
+	// the accumulation line trips floatorder and timenow at once.
+	src := `package tensor
+
+import "time"
+
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v + float64(time.Now().Unix()) //ddlvet:ignore floatorder,timenow fixture exercises both checks at once
+	}
+	return s
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "multi.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := NewLoader().LoadDir(dir, "corpus/tensor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunChecks(pkg, []*Analyzer{AnalyzerFloatOrder, AnalyzerTimeNow})
+	for _, d := range diags {
+		t.Errorf("unexpected surviving diagnostic: %v", d)
+	}
+
+	// Guard against a vacuous pass: without the directive, both checks fire.
+	bare := strings.Replace(src, " //ddlvet:ignore floatorder,timenow fixture exercises both checks at once", "", 1)
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, "multi.go"), []byte(bare), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg2, err := NewLoader().LoadDir(dir2, "corpus/tensor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checks []string
+	for _, d := range RunChecks(pkg2, []*Analyzer{AnalyzerFloatOrder, AnalyzerTimeNow}) {
+		checks = append(checks, d.Check)
+	}
+	got := strings.Join(checks, ",")
+	if !strings.Contains(got, "floatorder") || !strings.Contains(got, "timenow") {
+		t.Fatalf("without the directive want floatorder and timenow findings, got %q", got)
 	}
 }

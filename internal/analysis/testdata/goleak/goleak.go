@@ -1,0 +1,117 @@
+// Package goleak is the ddlvet corpus for the goleak check: a goroutine
+// launched in a cancelable function (one taking a context.Context or a
+// struct{} done channel) must observe the cancellation signal, be joined
+// by a WaitGroup, or be collected through a channel the function receives
+// from.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+// LeakyWorker spawns a free-running goroutine in a cancelable function:
+// positive.
+func LeakyWorker(ctx context.Context, jobs []int) {
+	results := make([]int, len(jobs))
+	go func() { // want "can outlive cancellation"
+		for i, j := range jobs {
+			results[i] = j * 2
+		}
+	}()
+	<-ctx.Done()
+}
+
+// CtxObserver selects on ctx.Done inside the goroutine: negative.
+func CtxObserver(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case v := <-ch:
+			_ = v
+		}
+	}()
+}
+
+// CtxForwarder hands the context to the spawned function: negative.
+func CtxForwarder(ctx context.Context) {
+	go worker(ctx)
+}
+
+func worker(ctx context.Context) { <-ctx.Done() }
+
+// WaitGrouped is joined by a WaitGroup before return: negative.
+func WaitGrouped(ctx context.Context, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+	_ = ctx
+}
+
+// ChannelCollected sends its result on a channel the function receives
+// from — the core.Server.Serve error-channel pattern: negative.
+func ChannelCollected(ctx context.Context) error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- work()
+	}()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case err := <-errc:
+		return err
+	}
+}
+
+func work() error { return nil }
+
+// DoneChanLeak takes a done channel the goroutine never watches:
+// positive.
+func DoneChanLeak(done chan struct{}, out []int) {
+	go func() { // want "can outlive cancellation"
+		for i := range out {
+			out[i] = i
+		}
+	}()
+	<-done
+}
+
+// DoneChanObserved watches the done channel: negative.
+func DoneChanObserved(done <-chan struct{}, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+// NamedLeak go-launches a named function without handing it the context:
+// positive.
+func NamedLeak(ctx context.Context) {
+	go spin() // want "can outlive cancellation"
+	<-ctx.Done()
+}
+
+func spin() {}
+
+// NotCancelable has no ctx/done parameter: out of the check's scope,
+// negative.
+func NotCancelable(n int) {
+	go func() { _ = n }()
+}
+
+// SuppressedLeak carries a reviewed waiver: suppressed.
+func SuppressedLeak(ctx context.Context) {
+	//ddlvet:ignore goleak fire-and-forget flush bounded by its own timeout
+	go spin()
+	<-ctx.Done()
+}

@@ -1,0 +1,145 @@
+// Package guardedby is the ddlvet corpus for the guardedby check: fields
+// annotated //ddlvet:guardedby <mutexField> may only be accessed with that
+// mutex held on the same receiver. The positive cases model the
+// Controller.Collector race that motivated the annotation.
+package guardedby
+
+import "sync"
+
+// registry models core.Controller: an RWMutex guarding annotated fields.
+type registry struct {
+	mu sync.RWMutex
+	//ddlvet:guardedby mu
+	entries map[string]int
+	count   int //ddlvet:guardedby mu
+}
+
+// Get reads under RLock: negative.
+func (r *registry) Get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.entries[k]
+}
+
+// Put writes under Lock: negative.
+func (r *registry) Put(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[k] = v
+	r.count++
+}
+
+// UnlockedRead is the shape of the seeded Controller.Collector race:
+// positive.
+func (r *registry) UnlockedRead(k string) int {
+	return r.entries[k] // want "read of r.entries without holding r.mu"
+}
+
+// WriteUnderRLock mutates while holding only the read lock: positive.
+func (r *registry) WriteUnderRLock(k string, v int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.entries[k] = v // want "write to r.entries without holding r.mu"
+}
+
+// BranchyUnlock releases on one path; the join must drop the lock:
+// positive.
+func (r *registry) BranchyUnlock(flush bool) int {
+	r.mu.RLock()
+	if flush {
+		r.mu.RUnlock()
+	}
+	n := r.entries["x"] // want "read of r.entries without holding r.mu"
+	if !flush {
+		r.mu.RUnlock()
+	}
+	return n
+}
+
+// DoubleChecked is the topology-cache pattern: read under RLock, re-check
+// and write under Lock. Negative.
+func (r *registry) DoubleChecked(k string) int {
+	r.mu.RLock()
+	v := r.entries[k]
+	r.mu.RUnlock()
+	if v == 0 {
+		r.mu.Lock()
+		r.entries[k] = 1
+		v = r.entries[k]
+		r.mu.Unlock()
+	}
+	return v
+}
+
+// upsertLocked follows the caller-holds *Locked convention: negative.
+func (r *registry) upsertLocked(k string, v int) {
+	r.entries[k] = v
+	r.count++
+}
+
+// NewRegistry writes fields of a value it just constructed — no other
+// goroutine can see it yet: negative.
+func NewRegistry() *registry {
+	r := &registry{}
+	r.entries = map[string]int{}
+	r.count = 1
+	return r
+}
+
+// CallbackEscape returns a closure that reads a guarded field with no
+// lock; the closure may run on any goroutine: positive.
+func (r *registry) CallbackEscape() func() int {
+	return func() int {
+		return r.count // want "read of r.count without holding r.mu"
+	}
+}
+
+// CallbackLocks takes the lock inside the closure: negative.
+func (r *registry) CallbackLocks() func() int {
+	return func() int {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+		return r.count
+	}
+}
+
+// SuppressedRead carries a reviewed waiver: suppressed.
+func (r *registry) SuppressedRead() int {
+	return r.count //ddlvet:ignore guardedby racy snapshot is documented and acceptable here
+}
+
+// counter uses a plain sync.Mutex: reads need Lock too.
+type counter struct {
+	mu sync.Mutex
+	n  int //ddlvet:guardedby mu
+}
+
+// Inc increments under the lock: negative.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Read reads without any lock: positive (plain Mutex has no shared mode).
+func (c *counter) Read() int {
+	return c.n // want "read of c.n without holding c.mu"
+}
+
+type wrapper struct{ reg *registry }
+
+// Chained reaches a guarded field through a chain; locking cannot be
+// proven through an intermediate pointer: positive.
+func (w *wrapper) Chained() int {
+	return w.reg.entries["x"] // want "accessed through a chained expression"
+}
+
+// badguard exercises the malformed-annotation diagnostics.
+type badguard struct {
+	mu sync.Mutex
+	n  int //ddlvet:guardedby lock // want "struct has no sync.Mutex/sync.RWMutex field named"
+	m  int //ddlvet:guardedby // want "needs the guarding mutex field name"
+}
+
+// use silences unused-field vet noise for badguard.
+func use(b *badguard) int { return b.n + b.m }

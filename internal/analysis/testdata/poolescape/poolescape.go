@@ -1,0 +1,145 @@
+// Package poolescape is the ddlvet corpus for the poolescape check: the
+// scratch-arena ownership rule of DESIGN.md §10. Positive cases model the
+// regression that motivated the check (a pooled inference buffer escaping
+// EmbedKeyed); negative cases are the sanctioned copy-out idioms.
+package poolescape
+
+import "sync"
+
+type scratch struct {
+	out []float64
+	tmp []float64
+}
+
+var pool = sync.Pool{New: func() any { return &scratch{out: make([]float64, 16)} }}
+
+// fill stands in for embedFast: handed the arena, returns a view into it.
+func fill(sc *scratch) []float64 {
+	for i := range sc.out {
+		sc.out[i] = float64(i)
+	}
+	return sc.out
+}
+
+// ReturnPooled returns the arena view a helper produced — the seeded
+// EmbedKeyed regression: positive.
+func ReturnPooled() []float64 {
+	sc := pool.Get().(*scratch)
+	res := fill(sc)
+	pool.Put(sc)
+	return res // want "pooled scratch escapes: returned value"
+}
+
+// ReturnDirect returns a field of the arena itself: positive.
+func ReturnDirect() []float64 {
+	sc := pool.Get().(*scratch)
+	defer pool.Put(sc)
+	return sc.out // want "pooled scratch escapes: returned value"
+}
+
+// CopyOut re-binds through make+copy before returning: negative (the real
+// EmbedKeyed shape after the fix).
+func CopyOut() []float64 {
+	sc := pool.Get().(*scratch)
+	res := fill(sc)
+	out := make([]float64, len(res))
+	copy(out, res)
+	pool.Put(sc)
+	return out
+}
+
+// AppendFresh uses the append-to-nil copy idiom: negative (appending
+// scalar elements copies them out of the arena).
+func AppendFresh() []float64 {
+	sc := pool.Get().(*scratch)
+	res := fill(sc)
+	out := append([]float64(nil), res...)
+	pool.Put(sc)
+	return out
+}
+
+// Rebind overwrites the tainted local with a fresh copy and returns it:
+// negative — reaching-definitions see only the fresh def at the return.
+func Rebind() []float64 {
+	res := fill(pool.Get().(*scratch))
+	res = append([]float64(nil), res...)
+	return res
+}
+
+// ScalarOut returns a scalar read from the arena: negative (copies by
+// value).
+func ScalarOut() float64 {
+	sc := pool.Get().(*scratch)
+	defer pool.Put(sc)
+	return sc.out[0]
+}
+
+var stash []float64
+
+// StoreGlobal parks the arena in a package variable: positive.
+func StoreGlobal() {
+	sc := pool.Get().(*scratch)
+	stash = sc.out // want "stored in package-level variable stash"
+	pool.Put(sc)
+}
+
+type holder struct{ buf []float64 }
+
+// StoreField pins pooled memory in an unrelated struct: positive.
+func StoreField(h *holder) {
+	sc := pool.Get().(*scratch)
+	h.buf = sc.out // want "stored in field buf"
+	pool.Put(sc)
+}
+
+// StoreIntoArena writes within the arena's own ownership: negative.
+func StoreIntoArena() {
+	sc := pool.Get().(*scratch)
+	sc.tmp = sc.out[:4]
+	pool.Put(sc)
+}
+
+// SendOnChannel ships the borrow to a receiver that outlives us: positive.
+func SendOnChannel(ch chan []float64) {
+	sc := pool.Get().(*scratch)
+	ch <- sc.out // want "sent on a channel"
+	pool.Put(sc)
+}
+
+// GoCapture hands the arena to a goroutine via closure capture: positive.
+func GoCapture() {
+	sc := pool.Get().(*scratch)
+	go func() { // want "captured by a go-launched closure"
+		_ = sc.out
+	}()
+	pool.Put(sc)
+}
+
+// GoArg passes the arena as an explicit goroutine argument: positive.
+func GoArg() {
+	sc := pool.Get().(*scratch)
+	go func(buf []float64) { // verifier reports the argument below
+		_ = buf
+	}(sc.out) // want "passed to a goroutine"
+	pool.Put(sc)
+}
+
+// DeferredPut is the canonical borrow pattern: negative (defer and plain
+// calls complete before the function returns).
+func DeferredPut() float64 {
+	sc := pool.Get().(*scratch)
+	defer pool.Put(sc)
+	res := fill(sc)
+	var s float64
+	for _, v := range res {
+		s += v
+	}
+	return s
+}
+
+// Suppressed returns the arena under a reviewed waiver: suppressed.
+func Suppressed() []float64 {
+	sc := pool.Get().(*scratch)
+	//ddlvet:ignore poolescape caller copies synchronously before the next Get
+	return sc.out
+}

@@ -49,10 +49,10 @@ type Collector struct {
 	now    func() time.Time
 
 	mu        sync.Mutex
-	servers   map[string]*ServerInfo
-	owners    map[string]net.Conn   // hostname → the connection that registered it
-	conns     map[net.Conn]struct{} // live connections, closed on shutdown
-	acceptErr error                 // last non-shutdown accept failure, surfaced by Close
+	servers   map[string]*ServerInfo //ddlvet:guardedby mu
+	owners    map[string]net.Conn    //ddlvet:guardedby mu — hostname → the connection that registered it
+	conns     map[net.Conn]struct{}  //ddlvet:guardedby mu — live connections, closed on shutdown
+	acceptErr error                  //ddlvet:guardedby mu — last non-shutdown accept failure, surfaced by Close
 
 	sem    chan struct{} // bounds concurrent connection handlers
 	wg     sync.WaitGroup

@@ -43,24 +43,24 @@ var (
 // responses carry the predicted training time.
 type Controller struct {
 	mu       sync.RWMutex
-	engines  map[string]*InferenceEngine // keyed by dataset name
+	engines  map[string]*InferenceEngine //ddlvet:guardedby mu
 	registry *GHNRegistry
 
 	// collector, when set via SetCollector, supplies the live cluster
 	// inventory so requests can omit explicit cluster configurations.
 	// Guarded by mu: handlers read it while serving, and attachment may
 	// happen after the server is already live.
-	collector *cluster.Collector
+	collector *cluster.Collector //ddlvet:guardedby mu
 
 	// Admission limits, guarded by mu (see SetLimits).
-	maxBodyBytes  int64
-	maxBatchItems int
+	maxBodyBytes  int64 //ddlvet:guardedby mu
+	maxBatchItems int   //ddlvet:guardedby mu
 
 	// metrics is the observability registry (never nil; see metrics.go),
 	// traceLog optionally receives server-side trace lines; both guarded by
 	// mu. ids mints request IDs for clients that send none.
-	metrics  *obs.Registry
-	traceLog *log.Logger
+	metrics  *obs.Registry //ddlvet:guardedby mu
+	traceLog *log.Logger   //ddlvet:guardedby mu
 	ids      *obs.IDSource
 }
 

@@ -34,24 +34,24 @@ type InferenceEngine struct {
 	// two different graphs share a zoo name). It is size-capped with
 	// deterministic FIFO eviction so a stream of distinct custom graphs
 	// cannot exhaust memory (DESIGN.md §8).
-	cache *embedCache
+	cache *embedCache //ddlvet:guardedby mu
 	// The Confidence reference set, precomputed once in SetReference:
 	// refNames is sorted so the best-match scan is deterministic, refRaw
 	// holds the embeddings as given (persisted by Save), refCentered holds
 	// them centered on refMean (what Confidence actually compares).
-	refNames    []string
-	refRaw      [][]float64
-	refCentered [][]float64
-	refMean     []float64
+	refNames    []string    //ddlvet:guardedby mu
+	refRaw      [][]float64 //ddlvet:guardedby mu
+	refCentered [][]float64 //ddlvet:guardedby mu
+	refMean     []float64   //ddlvet:guardedby mu
 	// cacheHits/cacheMisses are attached by Instrument (nil until then; all
 	// counter methods are nil-safe). The eviction counter lives on the cache
 	// itself, next to the eviction loop.
-	cacheHits   *obs.Counter
-	cacheMisses *obs.Counter
+	cacheHits   *obs.Counter //ddlvet:guardedby mu
+	cacheMisses *obs.Counter //ddlvet:guardedby mu
 	// precision selects the GHN inference route (DESIGN.md §10). Float64
 	// (the default) is bit-identical to the training forward pass; Float32
 	// trades that for speed and memory. Guarded by mu.
-	precision ghn.Precision
+	precision ghn.Precision //ddlvet:guardedby mu
 }
 
 // NewInferenceEngine assembles an engine from a trained GHN and a fitted

@@ -121,8 +121,8 @@ type GHN struct {
 	pool64   sync.Pool
 	pool32   sync.Pool
 	topoMu   sync.Mutex
-	topo     map[string]*topoInfo
-	topoFIFO []string
+	topo     map[string]*topoInfo //ddlvet:guardedby topoMu
+	topoFIFO []string             //ddlvet:guardedby topoMu
 
 	// metrics holds optional observability hooks (nil when uninstrumented);
 	// the hot path pays one atomic load to check.

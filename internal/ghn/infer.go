@@ -128,7 +128,9 @@ func (g *GHN) initInfer() {
 	d, ed := g.cfg.HiddenDim, g.cfg.EmbedDim
 	g.pool64.New = func() any { return newInferScratch[float64](d, ed) }
 	g.pool32.New = func() any { return newInferScratch[float32](d, ed) }
+	g.topoMu.Lock()
 	g.topo = make(map[string]*topoInfo)
+	g.topoMu.Unlock()
 }
 
 // infer32 returns the float32 weight snapshot, building it on first use.

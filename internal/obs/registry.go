@@ -80,9 +80,9 @@ type Registry struct {
 	clock Clock
 
 	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	counters   map[string]*Counter   //ddlvet:guardedby mu
+	gauges     map[string]*Gauge     //ddlvet:guardedby mu
+	histograms map[string]*Histogram //ddlvet:guardedby mu
 }
 
 // NewRegistry returns an empty registry whose timed helpers use clock
