@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet ddlvet vetbench bench smoke cover fuzz verify
+.PHONY: all build test race vet ddlvet vetbench bench loadbench smoke cover fuzz verify
 
 all: verify
 
@@ -40,6 +40,19 @@ bench: vetbench
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/tensor/ ./internal/ghn/ ./internal/core/
 	$(GO) run ./cmd/ddlbench -bench-embed BENCH_embed.json
 
+# Serving-tier load benchmark (DESIGN.md §12): ddlload stands up an
+# in-process synthetic controller, drives seeded open-loop (Poisson) and
+# closed-loop runs over the mixed scenario blend, searches for the max
+# sustained RPS inside the p99 SLO, measures allocs/op on the warm predict
+# path, and writes BENCH_serve.json. The run then gates against the
+# committed baseline: >15% p99 regression (beyond a 2 ms noise floor) or a
+# newly saturated histogram fails the target.
+loadbench:
+	$(GO) run ./cmd/ddlload -self -seed 1 -rps 150 -duration 3s \
+		-closed-requests 300 -concurrency 8 -trial-duration 800ms \
+		-max-rps-cap 800 -out BENCH_serve.json \
+		-baseline BENCH_serve_baseline.json -max-p99-regress 0.15
+
 # End-to-end smoke: the live-cluster example trains a predictor, runs
 # collector + agents + HTTP controller in one process, and survives an
 # injected collector restart (~5 s). Fails loudly if the serving path rots.
@@ -60,4 +73,4 @@ fuzz:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzBatchRequest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME)
 
-verify: vet build ddlvet test race smoke cover
+verify: vet build ddlvet test race smoke cover loadbench

@@ -117,8 +117,18 @@ func (s *Server) Serve(ctx context.Context) error {
 // Close releases the listener without draining. Serve callers normally rely
 // on context cancellation instead; Close exists for abandoning a server
 // that never served.
+//
+// http.Server.Close only closes listeners handed to Serve, so a server
+// abandoned before Serve would leak the pre-opened listener (and keep its
+// port bound) unless it is closed explicitly here.
 func (s *Server) Close() error {
-	if err := s.srv.Close(); err != nil {
+	err := s.srv.Close()
+	if lerr := s.ln.Close(); lerr != nil && !errors.Is(lerr, net.ErrClosed) && err == nil {
+		// Already closed via srv.Close after Serve ran; anything else is a
+		// real release failure.
+		err = lerr
+	}
+	if err != nil {
 		return fmt.Errorf("core: server close: %w", err)
 	}
 	return nil

@@ -120,6 +120,44 @@ func TestServerAddrAndClose(t *testing.T) {
 	}
 }
 
+// Close on a server whose Serve was never called must release the listener
+// opened by NewServer: http.Server.Close only knows listeners passed through
+// Serve, so skipping the explicit s.ln close leaks the socket and keeps the
+// port bound. Regression: re-bind the exact address after Close.
+func TestServerCloseReleasesUnservedListener(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", http.NotFoundHandler(), ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebinding %s after Close: %v (listener leaked)", addr, err)
+	}
+	ln.Close()
+
+	// Close after a served-and-drained lifecycle stays idempotent: the
+	// listener is already down via Shutdown, and Close must not report that
+	// as a failure.
+	srv2, err := NewServer("127.0.0.1:0", http.NotFoundHandler(), ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv2.Serve(ctx) }()
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatalf("Close after drained Serve: %v", err)
+	}
+}
+
 func TestServerOptionDefaults(t *testing.T) {
 	o := ServerOptions{}.withDefaults()
 	if o.ReadHeaderTimeout <= 0 || o.ReadTimeout <= 0 || o.WriteTimeout <= 0 ||

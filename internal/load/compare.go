@@ -1,0 +1,116 @@
+package load
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// CompareOptions tunes the regression gate.
+type CompareOptions struct {
+	// MaxP99Regress is the relative p99 regression budget (0.15 = fail
+	// above +15% vs the baseline).
+	MaxP99Regress float64
+	// NoiseFloor is an absolute grace band: a p99 increase is only a
+	// failure when it also exceeds this delta. Sub-millisecond baselines
+	// would otherwise fail on scheduler jitter alone — 15% of 800 µs is
+	// noise, 15% of 80 ms is a regression. Default 2 ms.
+	NoiseFloor time.Duration
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.MaxP99Regress <= 0 {
+		o.MaxP99Regress = 0.15
+	}
+	if o.NoiseFloor <= 0 {
+		o.NoiseFloor = 2 * time.Millisecond
+	}
+	return o
+}
+
+// Regression describes one gate violation.
+type Regression struct {
+	Where    string  // e.g. "open/predict"
+	Baseline float64 // seconds
+	Current  float64 // seconds
+	Detail   string
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: p99 %.4gs -> %.4gs (%s)", r.Where, r.Baseline, r.Current, r.Detail)
+}
+
+// Compare gates the current report against the committed baseline: per
+// run-mode, per endpoint, the current p99 must stay within the relative
+// budget (modulo the absolute noise floor), and must not have newly
+// saturated the bucket ladder — a saturated p99 is a floor on the truth,
+// so treating it as a plain number would let an overloaded server pass the
+// gate on a clamp. Returns the violations (empty = pass); only endpoints
+// present in both reports are compared, so adding a scenario never
+// invalidates an old baseline.
+func Compare(baseline, current *Report, opts CompareOptions) []Regression {
+	opts = opts.withDefaults()
+	var out []Regression
+	pairs := []struct {
+		mode      string
+		base, cur *RunReport
+	}{
+		{"open", baseline.Open, current.Open},
+		{"closed", baseline.Closed, current.Closed},
+	}
+	for _, p := range pairs {
+		if p.base == nil || p.cur == nil {
+			continue
+		}
+		for _, curEp := range p.cur.Endpoints {
+			baseEp, ok := findEndpoint(p.base.Endpoints, curEp.Endpoint)
+			if !ok {
+				continue
+			}
+			where := p.mode + "/" + curEp.Endpoint
+			if curEp.P99Saturated && !baseEp.P99Saturated {
+				out = append(out, Regression{
+					Where:    where,
+					Baseline: baseEp.P99Seconds,
+					Current:  curEp.P99Seconds,
+					Detail: fmt.Sprintf("p99 newly saturated the bucket ladder (overflow=%d); true p99 is above the reported floor",
+						curEp.Overflow),
+				})
+				continue
+			}
+			delta := curEp.P99Seconds - baseEp.P99Seconds
+			if delta <= opts.NoiseFloor.Seconds() {
+				continue
+			}
+			if curEp.P99Seconds > baseEp.P99Seconds*(1+opts.MaxP99Regress) {
+				out = append(out, Regression{
+					Where:    where,
+					Baseline: baseEp.P99Seconds,
+					Current:  curEp.P99Seconds,
+					Detail: fmt.Sprintf("+%.1f%% exceeds the %.0f%% budget (and the %v noise floor)",
+						100*delta/baseEp.P99Seconds, 100*opts.MaxP99Regress, opts.NoiseFloor),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// findEndpoint looks an endpoint up by name.
+func findEndpoint(eps []EndpointStats, name string) (EndpointStats, bool) {
+	for _, e := range eps {
+		if e.Endpoint == name {
+			return e, true
+		}
+	}
+	return EndpointStats{}, false
+}
+
+// FormatRegressions renders violations for the gate's failure message.
+func FormatRegressions(regs []Regression) string {
+	var b strings.Builder
+	for _, r := range regs {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	return b.String()
+}

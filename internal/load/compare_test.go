@@ -1,0 +1,70 @@
+package load
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// report builds a minimal Report with one open-loop predict endpoint.
+func report(p99 float64, saturated bool) *Report {
+	return &Report{
+		Open: &RunReport{
+			Mode: "open",
+			Endpoints: []EndpointStats{
+				{Endpoint: "predict", P99Seconds: p99, P99Saturated: saturated},
+			},
+		},
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	opts := CompareOptions{MaxP99Regress: 0.15, NoiseFloor: 2 * time.Millisecond}
+	cases := []struct {
+		name      string
+		base, cur *Report
+		wantFail  bool
+	}{
+		{"within budget", report(0.100, false), report(0.110, false), false},
+		{"over budget and floor", report(0.100, false), report(0.130, false), true},
+		{"big relative jump under noise floor", report(0.0010, false), report(0.0015, false), false},
+		{"improvement", report(0.100, false), report(0.050, false), false},
+		{"newly saturated", report(0.100, false), report(0.100, true), true},
+		{"already saturated baseline", report(0.100, true), report(0.100, true), false},
+		{"just over floor but within budget", report(0.100, false), report(0.103, false), false},
+	}
+	for _, c := range cases {
+		regs := Compare(c.base, c.cur, opts)
+		if got := len(regs) > 0; got != c.wantFail {
+			t.Errorf("%s: fail=%v (regressions: %v), want fail=%v", c.name, got, regs, c.wantFail)
+		}
+	}
+}
+
+// TestCompareScopes: endpoints or run modes absent from either side are
+// skipped, so adding a scenario or mode never invalidates an old baseline.
+func TestCompareScopes(t *testing.T) {
+	base := report(0.100, false)
+	cur := report(0.101, false)
+	cur.Open.Endpoints = append(cur.Open.Endpoints, EndpointStats{
+		Endpoint: "batch", P99Seconds: 99, // huge, but not in the baseline
+	})
+	cur.Closed = &RunReport{Mode: "closed", Endpoints: []EndpointStats{
+		{Endpoint: "predict", P99Seconds: 99}, // baseline has no closed run
+	}}
+	if regs := Compare(base, cur, CompareOptions{}); len(regs) != 0 {
+		t.Errorf("unscoped endpoints/modes triggered the gate: %v", regs)
+	}
+}
+
+func TestCompareDefaultsAndFormat(t *testing.T) {
+	// Zero options fall back to 15% / 2 ms: +30% on a 100 ms baseline fails.
+	regs := Compare(report(0.100, false), report(0.130, false), CompareOptions{})
+	if len(regs) != 1 {
+		t.Fatalf("want 1 regression with default options, got %v", regs)
+	}
+	msg := FormatRegressions(regs)
+	if !strings.Contains(msg, "open/predict") {
+		t.Errorf("formatted message %q does not name the endpoint", msg)
+	}
+}

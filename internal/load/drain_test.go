@@ -1,0 +1,144 @@
+package load
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"predictddl/internal/core"
+)
+
+// TestGracefulDrainUnderLoad cancels Server.Serve while a closed-loop
+// ddlload run has requests in flight, and asserts the drain contract:
+//
+//   - every request in flight at cancellation completes with its contract
+//     status (no 5xx, no truncated bodies) — the drain waits for them;
+//   - requests issued after cancellation are refused at the connection
+//     level (the listener closes first), not answered with errors;
+//   - Serve itself returns nil: a drain is a clean exit, not a failure.
+//
+// Determinism: the handler blocks every request on a gate channel, the test
+// cancels only after all workers are known to be inside the handler, and
+// the gate opens only after cancellation — so "in flight across the cancel
+// instant" is guaranteed by construction, not by sleep-tuned racing.
+func TestGracefulDrainUnderLoad(t *testing.T) {
+	ctrl, err := NewSyntheticController(8, "cifar10")
+	if err != nil {
+		t.Fatalf("NewSyntheticController: %v", err)
+	}
+	const concurrency = 4
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 64)
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-gate // closed gates pass immediately; open ones hold the request
+		ctrl.Handler().ServeHTTP(w, r)
+	})
+	srv, err := core.NewServer("127.0.0.1:0", handler, core.ServerOptions{
+		ShutdownTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	addr := srv.Addr()
+
+	serveCtx, cancelServe := context.WithCancel(context.Background())
+	defer cancelServe()
+	serveErr := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		serveErr <- srv.Serve(serveCtx)
+	}()
+
+	// Warm-path-only schedule: every entry contracts a 200, so any 5xx or
+	// early connection reset during the drain is a hard failure.
+	sched, err := BuildSchedule(ScheduleConfig{
+		Seed: 13, Mode: ModeClosed, Count: 24, Mix: Mix{{KindZoo, 1}},
+	})
+	if err != nil {
+		t.Fatalf("BuildSchedule: %v", err)
+	}
+	r := &Runner{BaseURL: "http://" + addr}
+	runDone := make(chan *RunResult, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, err := r.RunClosed(context.Background(), sched, concurrency, 0)
+		if err != nil {
+			t.Errorf("RunClosed: %v", err)
+		}
+		runDone <- res
+	}()
+
+	// Wait until every worker has a request inside the handler (blocked on
+	// the gate), so all of them are in flight at the cancellation instant.
+	for i := 0; i < concurrency; i++ {
+		select {
+		case <-entered:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d/%d workers reached the handler", i, concurrency)
+		}
+	}
+	cancelTime := time.Now()
+	cancelServe()
+	// Give Shutdown a beat to close the listener, then release the gate:
+	// the held requests drain, and everything the workers issue afterwards
+	// must be refused at dial time.
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+
+	var res *RunResult
+	select {
+	case res = <-runDone:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("run did not finish after drain")
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("Serve returned %v; a drain must be a clean nil exit", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("Serve did not return after cancellation")
+	}
+
+	drained, refused := 0, 0
+	for _, s := range res.Samples {
+		switch {
+		case s.Status >= 500:
+			t.Errorf("sample %d: drain produced a %d", s.Index, s.Status)
+		case s.Status == 200:
+			if s.Start.Before(cancelTime) && s.End.After(cancelTime) {
+				drained++
+			}
+		case s.Status == 0:
+			if s.Start.After(cancelTime) {
+				refused++
+			}
+		default:
+			t.Errorf("sample %d: unexpected status %d (err %q)", s.Index, s.Status, s.Err)
+		}
+	}
+	if drained < concurrency {
+		t.Errorf("only %d in-flight requests spanned the cancel and completed 200; want %d", drained, concurrency)
+	}
+	if refused == 0 {
+		t.Errorf("no post-cancel request was refused; the listener should close before the drain finishes")
+	}
+
+	// The port is released: a direct dial after Serve returned must fail.
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err == nil {
+		conn.Close()
+		t.Errorf("dial %s succeeded after shutdown; listener still open", addr)
+	}
+	wg.Wait()
+}

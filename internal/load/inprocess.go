@@ -1,0 +1,114 @@
+package load
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+
+	"predictddl/internal/cluster"
+	"predictddl/internal/core"
+	"predictddl/internal/ghn"
+	"predictddl/internal/regress"
+	"predictddl/internal/tensor"
+)
+
+// NewSyntheticController builds a controller whose serving path is real —
+// decode, Task Checker, GHN embed (fast path + embedding cache), regressor
+// eval — but whose model quality is irrelevant: the GHN keeps its seeded
+// random initialization and the linear regressor is fitted on synthetic
+// points of the right dimensionality. Construction costs milliseconds
+// instead of an offline training run, which is what lets `make loadbench`
+// and the drain tests stand up a live server per invocation. Predictions
+// are numerically meaningless; their latency profile is the thing under
+// measurement.
+func NewSyntheticController(seed int64, datasets ...string) (*core.Controller, error) {
+	if len(datasets) == 0 {
+		datasets = []string{"cifar10"}
+	}
+	engines := make([]*core.InferenceEngine, len(datasets))
+	for i, ds := range datasets {
+		g := ghn.New(ghn.DefaultConfig(), tensor.NewRNG(seed))
+		reg, err := syntheticRegressor(seed+int64(i), g.EmbeddingDim()+len(cluster.FeatureNames()))
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = core.NewInferenceEngine(ds, g, reg)
+	}
+	ctrl := core.NewController(core.NewGHNRegistry(), engines...)
+	// Admission cap low enough that oversized-scenario bodies stay cheap
+	// to generate (DefaultOversizedTarget), batch cap at the default.
+	ctrl.SetLimits(DefaultOversizedTarget, 0)
+	return ctrl, nil
+}
+
+// syntheticRegressor fits a ridge regression on random points of the given
+// feature dimensionality — the cheapest fitted model that makes
+// engine.Predict succeed end to end.
+func syntheticRegressor(seed int64, dim int) (regress.Regressor, error) {
+	rng := tensor.NewRNG(seed)
+	n := 2*dim + 8
+	x := tensor.NewMatrix(n, dim)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < dim; j++ {
+			x.Set(i, j, rng.Uniform(0, 1))
+		}
+		y[i] = rng.Uniform(10, 1000)
+	}
+	m := regress.NewLinearRegression()
+	if err := m.Fit(x, y); err != nil {
+		return nil, fmt.Errorf("load: synthetic regressor fit: %w", err)
+	}
+	return m, nil
+}
+
+// MeasureAllocsPerOp measures server-side heap allocations per warm
+// /v1/predict by driving the handler directly — no sockets, no client
+// goroutines — so the number is the serving path's own allocation bill
+// (middleware, decode, cache hit, regressor, encode) and comparable across
+// commits. It replays the schedule's zoo requests (the steady-state hot
+// path; custom graphs deliberately measure cold embeds and would swamp the
+// signal), one warmup pass then ops measured calls.
+func MeasureAllocsPerOp(h http.Handler, sched *Schedule, ops int) (float64, error) {
+	var zoo []*Request
+	for i := range sched.Requests {
+		if sched.Requests[i].Kind == KindZoo {
+			zoo = append(zoo, &sched.Requests[i])
+		}
+	}
+	if len(zoo) == 0 {
+		return 0, fmt.Errorf("load: schedule has no zoo requests to measure")
+	}
+	if ops <= 0 {
+		ops = 200
+	}
+	call := func(r *Request) error {
+		req := httptest.NewRequest(http.MethodPost, r.Path, bytes.NewReader(r.Body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != r.Expect {
+			return fmt.Errorf("load: allocs probe got status %d, want %d", rec.Code, r.Expect)
+		}
+		return nil
+	}
+	// Warmup: populate the embedding cache and any lazy pools, as a
+	// steady-state server would be.
+	for _, r := range zoo {
+		if err := call(r); err != nil {
+			return 0, err
+		}
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < ops; i++ {
+		if err := call(zoo[i%len(zoo)]); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(ops), nil
+}

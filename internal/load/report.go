@@ -1,0 +1,426 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"predictddl/internal/obs"
+)
+
+// Report is the BENCH_serve.json artifact: the serving tier's measured
+// performance trajectory for one commit on one machine. Latency quantiles
+// are client-observed; the Server blocks cross-check them against the
+// controller's own /v1/metrics histograms so a client-side artifact (GC
+// pause in the generator, pool exhaustion) cannot masquerade as a server
+// regression.
+type Report struct {
+	GeneratedAt string  `json:"generated_at"`
+	GoVersion   string  `json:"go_version"`
+	NumCPU      int     `json:"num_cpu"`
+	Seed        int64   `json:"seed"`
+	SLOSeconds  float64 `json:"slo_p99_seconds"`
+	// Open is the open-loop run at the configured target RPS.
+	Open *RunReport `json:"open,omitempty"`
+	// Closed is the fixed-concurrency closed-loop run.
+	Closed *RunReport `json:"closed,omitempty"`
+	// MaxSustained is the highest open-loop RPS whose p99 stayed inside
+	// the SLO (see FindMaxRPS).
+	MaxSustained *MaxRPSReport `json:"max_sustained,omitempty"`
+	// AllocsPerOpPredict is server-side heap allocations per warm
+	// /v1/predict from the in-process mode (0 when not measured).
+	AllocsPerOpPredict float64 `json:"allocs_per_op_predict,omitempty"`
+}
+
+// RunReport summarizes one run.
+type RunReport struct {
+	Mode            string  `json:"mode"`
+	TargetRPS       float64 `json:"target_rps,omitempty"`
+	Concurrency     int     `json:"concurrency,omitempty"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Dispatched      int     `json:"dispatched"`
+	Completed       int     `json:"completed"`
+	// AchievedRPS is completed responses over wall time — for open-loop
+	// runs it sags below TargetRPS exactly when the server cannot keep up.
+	AchievedRPS float64 `json:"achieved_rps"`
+	// Endpoints breaks latency down per endpoint (client-observed).
+	Endpoints []EndpointStats `json:"endpoints"`
+	// Statuses is the status-code breakdown ("transport" = no response).
+	Statuses []StatusCount `json:"statuses"`
+	// Unexpected counts samples whose status violated the scenario
+	// contract (e.g. a zoo predict answering 503) — the run's true error
+	// count, since 404s and 413s here are *requested* outcomes.
+	Unexpected int `json:"unexpected"`
+	// Server carries the /v1/metrics cross-check (nil when the scrape was
+	// skipped or failed).
+	Server []ServerCheck `json:"server,omitempty"`
+}
+
+// EndpointStats is the client-observed latency profile of one endpoint,
+// computed over samples that produced a response. Quantiles come from an
+// obs.LatencyBuckets histogram — the same estimator the server reports —
+// and carry the overflow/saturation marks from DESIGN.md §12 instead of
+// silently clamping.
+type EndpointStats struct {
+	Endpoint     string  `json:"endpoint"`
+	Requests     int     `json:"requests"`
+	P50Seconds   float64 `json:"p50_seconds"`
+	P99Seconds   float64 `json:"p99_seconds"`
+	P99Saturated bool    `json:"p99_saturated,omitempty"`
+	Overflow     uint64  `json:"overflow,omitempty"`
+	MeanSeconds  float64 `json:"mean_seconds"`
+}
+
+// ServerCheck cross-references one instrumented endpoint's client-side
+// view with the server's own counters and histograms, as deltas across the
+// run.
+type ServerCheck struct {
+	// Endpoint is the server's metric label ("predict", "batch").
+	Endpoint string `json:"endpoint"`
+	// ClientResponses counts client samples that got an HTTP response.
+	ClientResponses uint64 `json:"client_responses"`
+	// ServerRequests is the delta of the endpoint's http.requests.*
+	// counters across the run.
+	ServerRequests uint64 `json:"server_requests"`
+	// CountsMatch is ServerRequests == ClientResponses. With transport
+	// errors in the run the two may legitimately diverge (a request can
+	// die after the server counted it), so consumers gate on this only
+	// when the transport error count is zero.
+	CountsMatch bool `json:"counts_match"`
+	// Server-side latency over the run window (delta histogram).
+	P50Seconds   float64 `json:"p50_seconds"`
+	P99Seconds   float64 `json:"p99_seconds"`
+	P99Saturated bool    `json:"p99_saturated,omitempty"`
+	Overflow     uint64  `json:"overflow,omitempty"`
+}
+
+// MaxRPSReport is the result of the sustained-throughput search.
+type MaxRPSReport struct {
+	// RPS is the highest tested rate whose p99 met the SLO (0 when even
+	// the starting rate failed).
+	RPS float64 `json:"rps"`
+	// P99Seconds is the measured p99 at that rate.
+	P99Seconds float64 `json:"p99_seconds"`
+	// Trials lists every probe, in order.
+	Trials []MaxRPSTrial `json:"trials"`
+}
+
+// MaxRPSTrial is one probe of the search.
+type MaxRPSTrial struct {
+	RPS        float64 `json:"rps"`
+	P99Seconds float64 `json:"p99_seconds"`
+	Saturated  bool    `json:"p99_saturated,omitempty"`
+	Unexpected int     `json:"unexpected"`
+	Pass       bool    `json:"pass"`
+}
+
+// endpointLabel maps a request path to the server's metric label.
+func endpointLabel(path string) string {
+	switch path {
+	case "/v1/predict":
+		return "predict"
+	case "/v1/predict/batch", "/v1/batch":
+		return "batch"
+	default:
+		return path
+	}
+}
+
+// Summarize folds a run's samples into a RunReport (without the Server
+// cross-check; see CrossCheck).
+func Summarize(sched *Schedule, res *RunResult, concurrency int) *RunReport {
+	rep := &RunReport{
+		Mode:            string(sched.Config.Mode),
+		TargetRPS:       sched.Config.RPS,
+		Concurrency:     concurrency,
+		DurationSeconds: res.Elapsed.Seconds(),
+		Dispatched:      res.Dispatched,
+		Statuses:        countStatuses(res.Samples),
+	}
+	// Client-side latency histograms per endpoint, same bucket ladder as
+	// the server's (so saturation behaves identically on both sides).
+	reg := obs.NewRegistry(nil)
+	completed := 0
+	for _, s := range res.Samples {
+		if !s.Expected() {
+			rep.Unexpected++
+		}
+		if s.Status == 0 {
+			continue
+		}
+		completed++
+		reg.Histogram("lat."+endpointLabel(s.Path), obs.LatencyBuckets()).
+			Observe(s.Latency.Seconds())
+	}
+	rep.Completed = completed
+	if res.Elapsed > 0 {
+		rep.AchievedRPS = float64(completed) / res.Elapsed.Seconds()
+	}
+	snap := reg.Snapshot()
+	for _, hv := range snap.Histograms {
+		p99, sat := hv.QuantileSaturated(0.99)
+		rep.Endpoints = append(rep.Endpoints, EndpointStats{
+			Endpoint:     hv.Name[len("lat."):],
+			Requests:     int(hv.Count),
+			P50Seconds:   hv.Quantile(0.5),
+			P99Seconds:   p99,
+			P99Saturated: sat,
+			Overflow:     hv.Overflow,
+			MeanSeconds:  hv.Mean(),
+		})
+	}
+	return rep
+}
+
+// ScrapeMetrics fetches and decodes the target's /v1/metrics snapshot.
+func ScrapeMetrics(client *http.Client, baseURL string) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	resp, err := client.Get(baseURL + "/v1/metrics")
+	if err != nil {
+		return snap, fmt.Errorf("load: metrics scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("load: metrics scrape: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("load: metrics scrape decode: %w", err)
+	}
+	return snap, nil
+}
+
+// CrossCheck compares the client-side run against the server's own
+// metrics, as deltas between a pre-run and post-run /v1/metrics snapshot:
+// request-counter deltas must equal the client's response counts, and the
+// server's latency histogram delta supplies the authoritative p50/p99 (and
+// overflow) for the run window.
+func CrossCheck(res *RunResult, before, after obs.Snapshot) []ServerCheck {
+	clientByEp := map[string]uint64{}
+	for _, s := range res.Samples {
+		if s.Status != 0 {
+			clientByEp[endpointLabel(s.Path)]++
+		}
+	}
+	var out []ServerCheck
+	for _, ep := range []string{"predict", "batch"} {
+		var server uint64
+		for _, c := range after.Counters {
+			prefix := "http.requests." + ep + "."
+			if len(c.Name) > len(prefix) && c.Name[:len(prefix)] == prefix {
+				server += c.Value - before.Counter(c.Name)
+			}
+		}
+		client := clientByEp[ep]
+		if server == 0 && client == 0 {
+			continue
+		}
+		check := ServerCheck{
+			Endpoint:        ep,
+			ClientResponses: client,
+			ServerRequests:  server,
+			CountsMatch:     server == client,
+		}
+		latName := "http.latency." + ep + ".seconds"
+		if hv, ok := after.HistogramByName(latName); ok {
+			prev, _ := before.HistogramByName(latName)
+			delta := histogramDelta(hv, prev)
+			p99, sat := delta.QuantileSaturated(0.99)
+			check.P50Seconds = delta.Quantile(0.5)
+			check.P99Seconds = p99
+			check.P99Saturated = sat
+			check.Overflow = delta.Overflow
+		}
+		out = append(out, check)
+	}
+	return out
+}
+
+// histogramDelta subtracts a prior snapshot of the same histogram bucket
+// by bucket, yielding the run window's own distribution. A mismatched or
+// absent prior (fresh server) falls back to the raw snapshot.
+func histogramDelta(cur, prev obs.HistogramValue) obs.HistogramValue {
+	if len(prev.Buckets) != len(cur.Buckets) {
+		return cur
+	}
+	out := obs.HistogramValue{
+		Name:    cur.Name,
+		Count:   cur.Count - prev.Count,
+		Sum:     cur.Sum - prev.Sum,
+		Buckets: make([]obs.BucketValue, len(cur.Buckets)),
+	}
+	for i := range cur.Buckets {
+		out.Buckets[i] = obs.BucketValue{
+			UpperBound: cur.Buckets[i].UpperBound,
+			Count:      cur.Buckets[i].Count - prev.Buckets[i].Count,
+		}
+	}
+	out.Overflow = out.Buckets[len(out.Buckets)-1].Count
+	return out
+}
+
+// FindMaxRPSOptions bounds the sustained-throughput search.
+type FindMaxRPSOptions struct {
+	// StartRPS is the first probe (default 25).
+	StartRPS float64
+	// CapRPS bounds the doubling phase (default 2000).
+	CapRPS float64
+	// TrialDuration is each probe's open-loop window (default 1.5s).
+	TrialDuration time.Duration
+	// Refinements is the number of binary-search iterations after the
+	// doubling phase brackets the ceiling (default 3).
+	Refinements int
+}
+
+func (o FindMaxRPSOptions) withDefaults() FindMaxRPSOptions {
+	if o.StartRPS <= 0 {
+		o.StartRPS = 25
+	}
+	if o.CapRPS <= 0 {
+		o.CapRPS = 2000
+	}
+	if o.TrialDuration <= 0 {
+		o.TrialDuration = 1500 * time.Millisecond
+	}
+	if o.Refinements <= 0 {
+		o.Refinements = 3
+	}
+	return o
+}
+
+// FindMaxRPS searches for the highest open-loop arrival rate whose
+// combined p99 (over responses matching the scenario contract) stays
+// within slo: double from StartRPS until a probe fails or CapRPS is
+// reached, then binary-search the bracket. Probe schedules derive
+// deterministically from cfg.Seed and the probe rate; the measured
+// latencies, of course, do not.
+//
+// A probe fails when its p99 exceeds slo, its p99 saturates the bucket
+// ladder, or any sample violates its scenario contract (5xx on the warm
+// path, transport errors).
+func (r *Runner) FindMaxRPS(ctx context.Context, cfg ScheduleConfig, slo time.Duration, opts FindMaxRPSOptions) (*MaxRPSReport, error) {
+	opts = opts.withDefaults()
+	rep := &MaxRPSReport{}
+
+	probe := func(rps float64) (MaxRPSTrial, error) {
+		pc := cfg
+		pc.Mode = ModeOpen
+		pc.RPS = rps
+		pc.Duration = opts.TrialDuration
+		sched, err := BuildSchedule(pc)
+		if err != nil {
+			return MaxRPSTrial{}, err
+		}
+		res, err := r.RunOpen(ctx, sched)
+		if err != nil {
+			return MaxRPSTrial{}, err
+		}
+		reg := obs.NewRegistry(nil)
+		h := reg.Histogram("lat", obs.LatencyBuckets())
+		unexpected := 0
+		for _, s := range res.Samples {
+			if !s.Expected() {
+				unexpected++
+				continue
+			}
+			h.Observe(s.Latency.Seconds())
+		}
+		hv, _ := reg.Snapshot().HistogramByName("lat")
+		p99, sat := hv.QuantileSaturated(0.99)
+		t := MaxRPSTrial{
+			RPS:        rps,
+			P99Seconds: p99,
+			Saturated:  sat,
+			Unexpected: unexpected,
+			Pass:       unexpected == 0 && !sat && p99 <= slo.Seconds(),
+		}
+		rep.Trials = append(rep.Trials, t)
+		return t, nil
+	}
+
+	// Doubling phase.
+	lo, hi := 0.0, 0.0
+	for rps := opts.StartRPS; rps <= opts.CapRPS; rps *= 2 {
+		t, err := probe(rps)
+		if err != nil {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("load: max-rps search canceled: %w", ctx.Err())
+		}
+		if t.Pass {
+			lo = rps
+			rep.RPS, rep.P99Seconds = t.RPS, t.P99Seconds
+			continue
+		}
+		hi = rps
+		break
+	}
+	if lo == 0 {
+		// Even the starting rate failed; report zero sustained.
+		return rep, nil
+	}
+	if hi == 0 {
+		// Never failed up to the cap; the cap is the answer we can attest.
+		return rep, nil
+	}
+	// Binary refinement inside (lo, hi).
+	for i := 0; i < opts.Refinements; i++ {
+		mid := (lo + hi) / 2
+		t, err := probe(mid)
+		if err != nil {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("load: max-rps search canceled: %w", ctx.Err())
+		}
+		if t.Pass {
+			lo = mid
+			rep.RPS, rep.P99Seconds = t.RPS, t.P99Seconds
+		} else {
+			hi = mid
+		}
+	}
+	return rep, nil
+}
+
+// NewReport stamps the report envelope.
+func NewReport(seed int64, slo time.Duration) *Report {
+	return &Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Seed:        seed,
+		SLOSeconds:  slo.Seconds(),
+	}
+}
+
+// WriteFile serializes the report to path (indented, trailing newline —
+// the artifact is checked into diffs and CI logs, so keep it readable).
+func (rep *Report) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("load: report marshal: %w", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("load: report write: %w", err)
+	}
+	return nil
+}
+
+// ReadReport loads a report (the committed baseline, or a prior artifact).
+func ReadReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("load: report read: %w", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("load: report %s parse: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,236 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"predictddl/internal/obs"
+)
+
+// Sample is one executed request's outcome. The runner writes each sample
+// into its own pre-allocated slot (no locks, no append races), so a result
+// slice is in schedule order regardless of completion order.
+type Sample struct {
+	// Index is the schedule position this sample executed.
+	Index int
+	Kind  Kind
+	Path  string
+	// Status is the HTTP status, or 0 when the request never produced a
+	// response (Err holds why).
+	Status int
+	// Err is the transport error, if any.
+	Err string
+	// Expect is the contract status copied from the schedule entry.
+	Expect int
+	// Latency is client-observed: request write to response body fully
+	// read.
+	Latency time.Duration
+	// Start and End time the request against the runner's clock — the
+	// drain tests use them to find requests in flight at a cancellation
+	// instant.
+	Start, End time.Time
+	// Done marks the slot as executed (schedules can be partially consumed
+	// by closed-loop runs and canceled open-loop runs).
+	Done bool
+}
+
+// StatusKey returns the breakdown key for the sample: the status code as a
+// string, or "transport" for connection-level failures.
+func (s Sample) StatusKey() string {
+	if s.Status == 0 {
+		return "transport"
+	}
+	return fmt.Sprintf("%d", s.Status)
+}
+
+// Expected reports whether the outcome matches the scenario contract.
+func (s Sample) Expected() bool { return s.Status == s.Expect }
+
+// RunResult is one run's raw outcome.
+type RunResult struct {
+	// Samples holds only executed requests, in schedule order.
+	Samples []Sample
+	// Dispatched counts requests handed to the transport; it can exceed
+	// len(Samples) only if the run was canceled so hard that slots were
+	// never marked (it normally equals it).
+	Dispatched int
+	// Elapsed is the wall time from first dispatch to last completion.
+	Elapsed time.Duration
+}
+
+// Runner drives schedules against one base URL.
+type Runner struct {
+	// BaseURL is the target server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client is the HTTP client to use; nil selects a dedicated client
+	// with a generous timeout and a connection pool sized for load runs.
+	Client *http.Client
+	// Clock times requests; nil selects the system clock. (Latency numbers
+	// are only meaningful on the system clock; the injection point exists
+	// for tests that assert bookkeeping, not durations.)
+	Clock obs.Clock
+}
+
+// HTTPClient returns the client the runner issues requests with: the
+// configured one, or a lazily built default with a load-run-sized
+// connection pool. Callers use it for out-of-band requests (the
+// /v1/metrics scrapes) so cross-checks observe the same connection state.
+func (r *Runner) HTTPClient() *http.Client {
+	if r.Client == nil {
+		r.Client = &http.Client{
+			Timeout: 2 * time.Minute,
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 256,
+			},
+		}
+	}
+	return r.Client
+}
+
+func (r *Runner) clock() obs.Clock {
+	if r.Clock != nil {
+		return r.Clock
+	}
+	return obs.SystemClock{}
+}
+
+// RunOpen executes an open-loop schedule: each request fires at its
+// pre-drawn offset whether or not earlier requests have completed. The
+// call blocks until every dispatched request finishes or ctx is canceled;
+// cancellation stops dispatching new arrivals but still waits for requests
+// already in flight (they drain into their sample slots).
+func (r *Runner) RunOpen(ctx context.Context, sched *Schedule) (*RunResult, error) {
+	if sched.Config.Mode != ModeOpen {
+		return nil, fmt.Errorf("load: RunOpen on a %q schedule", sched.Config.Mode)
+	}
+	client := r.HTTPClient()
+	clock := r.clock()
+	samples := make([]Sample, len(sched.Requests))
+	start := clock.Now()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+
+	var wg sync.WaitGroup
+	dispatched := 0
+dispatch:
+	for i := range sched.Requests {
+		wait := sched.Requests[i].Offset - obs.Since(clock, start)
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				break dispatch
+			}
+		} else if ctx.Err() != nil {
+			break dispatch
+		}
+		dispatched++
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.do(client, clock, sched, i, &samples[i])
+		}(i)
+	}
+	wg.Wait()
+	return collect(samples, dispatched, clock, start), nil
+}
+
+// RunClosed executes a closed-loop run: concurrency workers each keep one
+// request outstanding, consuming the schedule sequence in order until it
+// is exhausted, maxDuration elapses (0 means no time bound), or ctx is
+// canceled. In-flight requests always drain into their sample slots before
+// the call returns.
+func (r *Runner) RunClosed(ctx context.Context, sched *Schedule, concurrency int, maxDuration time.Duration) (*RunResult, error) {
+	if sched.Config.Mode != ModeClosed {
+		return nil, fmt.Errorf("load: RunClosed on a %q schedule", sched.Config.Mode)
+	}
+	if concurrency <= 0 {
+		return nil, fmt.Errorf("load: closed-loop run needs concurrency > 0")
+	}
+	client := r.HTTPClient()
+	clock := r.clock()
+	samples := make([]Sample, len(sched.Requests))
+	start := clock.Now()
+	deadline := time.Time{}
+	if maxDuration > 0 {
+		deadline = start.Add(maxDuration)
+	}
+
+	var next atomic.Int64
+	var dispatched atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				if !deadline.IsZero() && !clock.Now().Before(deadline) {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(sched.Requests) {
+					return
+				}
+				dispatched.Add(1)
+				r.do(client, clock, sched, i, &samples[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return collect(samples, int(dispatched.Load()), clock, start), nil
+}
+
+// do executes schedule entry i and records the outcome into slot.
+func (r *Runner) do(client *http.Client, clock obs.Clock, sched *Schedule, i int, slot *Sample) {
+	entry := &sched.Requests[i]
+	slot.Index, slot.Kind, slot.Path, slot.Expect = i, entry.Kind, entry.Path, entry.Expect
+	slot.Done = true
+	slot.Start = clock.Now()
+	req, err := http.NewRequest(http.MethodPost, r.BaseURL+entry.Path, bytes.NewReader(entry.Body))
+	if err != nil {
+		slot.Err = err.Error()
+		slot.End = clock.Now()
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		slot.Err = err.Error()
+		slot.End = clock.Now()
+		slot.Latency = slot.End.Sub(slot.Start)
+		return
+	}
+	// Latency includes reading the full body: a truncated drain would
+	// surface here as a transport error, not silently as a fast success.
+	_, cerr := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	slot.End = clock.Now()
+	slot.Latency = slot.End.Sub(slot.Start)
+	if cerr != nil {
+		slot.Err = cerr.Error()
+		return
+	}
+	slot.Status = resp.StatusCode
+}
+
+// collect filters executed slots, preserving schedule order.
+func collect(samples []Sample, dispatched int, clock obs.Clock, start time.Time) *RunResult {
+	out := &RunResult{Elapsed: obs.Since(clock, start), Dispatched: dispatched}
+	for i := range samples {
+		if samples[i].Done {
+			out.Samples = append(out.Samples, samples[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"predictddl/internal/core"
+	"predictddl/internal/graph"
+	"predictddl/internal/tensor"
+)
+
+// Mode selects the arrival discipline.
+type Mode string
+
+const (
+	// ModeOpen is open-loop: requests fire at pre-drawn Poisson arrival
+	// times regardless of how fast the server answers, so a slow server
+	// accumulates in-flight work instead of silently throttling the
+	// generator (the coordinated-omission trap of closed-loop measurement).
+	ModeOpen Mode = "open"
+	// ModeClosed is closed-loop: a fixed number of workers each keep
+	// exactly one request outstanding — the concurrency-limited client
+	// population model, and the discipline that drives the server to its
+	// throughput ceiling.
+	ModeClosed Mode = "closed"
+)
+
+// ScheduleConfig parameterizes schedule generation. Every field feeds the
+// seeded generator; equal configs produce byte-identical schedules.
+type ScheduleConfig struct {
+	// Seed drives all schedule entropy (arrival draws, scenario choices,
+	// request bodies).
+	Seed int64
+	// Mode selects open- or closed-loop arrival.
+	Mode Mode
+	// RPS is the open-loop target arrival rate (ignored for closed-loop).
+	RPS float64
+	// Duration bounds the open-loop arrival window (ignored for
+	// closed-loop, where the runner decides when to stop).
+	Duration time.Duration
+	// Count is the closed-loop sequence length (ignored for open-loop,
+	// where RPS×Duration decides).
+	Count int
+	// Mix is the scenario blend; nil selects DefaultMix.
+	Mix Mix
+	// Dataset is the dataset every well-formed request names. It must be
+	// served by the target for the zoo/batch/custom scenarios to hit 200.
+	Dataset string
+	// ServerMaxBody is the target server's request-body admission cap;
+	// oversized-scenario bodies are padded just past it. Defaults to
+	// DefaultOversizedTarget — deliberately far below core's 8 MiB default
+	// cap, so benchmarking the 413 path does not require shipping 8 MiB
+	// bodies; point it at the real cap when driving a stock server.
+	ServerMaxBody int64
+}
+
+// DefaultOversizedTarget is the body cap oversized scenarios aim past when
+// ScheduleConfig.ServerMaxBody is unset. In-process and loadbench targets
+// set their admission cap to this value.
+const DefaultOversizedTarget = 64 << 10 // 64 KiB
+
+// zooModels is the fixed architecture rotation for the zoo and batch
+// scenarios — small members of the zoo, so the warm path measures serving
+// overhead rather than one flagship model's embed cost.
+func zooModels() []string {
+	return []string{"squeezenet1_1", "resnet18", "mobilenet_v3_small"}
+}
+
+// customRandomSpec bounds the random graphs of the cold-custom scenario:
+// small DARTS-style samples, so a cold embed costs milliseconds, not the
+// tail of the full GHN-training distribution.
+func customRandomSpec() graph.RandomSpec {
+	return graph.RandomSpec{MinStages: 2, MaxStages: 3, MinBlocks: 1, MaxBlocks: 2, MinChannels: 16}
+}
+
+// Request is one scheduled request: where it goes, what it carries, when
+// it fires (open-loop), and what status the serving contract promises.
+type Request struct {
+	// Offset is the arrival time relative to run start (0 for closed-loop,
+	// where workers fire as fast as the server allows).
+	Offset time.Duration `json:"offset_ns"`
+	Kind   Kind          `json:"kind"`
+	Path   string        `json:"path"`
+	Body   []byte        `json:"body"`
+	// Expect is the contract status (200, 404, 413); samples that come
+	// back with anything else are counted as unexpected.
+	Expect int `json:"expect"`
+}
+
+// Schedule is a materialized request sequence. It is immutable after
+// BuildSchedule: the runner only reads it.
+type Schedule struct {
+	Config   ScheduleConfig `json:"config"`
+	Requests []Request      `json:"requests"`
+}
+
+// Canonical serializes the schedule deterministically — the byte string
+// the reproducibility contract is stated over: equal seeds and configs
+// must yield equal Canonical outputs.
+func (s *Schedule) Canonical() ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("load: schedule marshal: %w", err)
+	}
+	return b, nil
+}
+
+// BuildSchedule materializes the full request sequence for cfg: arrival
+// offsets (open-loop Poisson at cfg.RPS over cfg.Duration, or cfg.Count
+// zero-offset entries for closed-loop), scenario kinds drawn from the mix,
+// and fully rendered request bodies. All entropy comes from cfg.Seed, and
+// generation is single-threaded, so the result is reproducible
+// byte-for-byte.
+func BuildSchedule(cfg ScheduleConfig) (*Schedule, error) {
+	if cfg.Mix == nil {
+		cfg.Mix = DefaultMix()
+	}
+	if cfg.Dataset == "" {
+		cfg.Dataset = "cifar10"
+	}
+	if cfg.ServerMaxBody <= 0 {
+		cfg.ServerMaxBody = DefaultOversizedTarget
+	}
+	total := 0.0
+	for _, e := range cfg.Mix {
+		if e.Weight < 0 {
+			return nil, fmt.Errorf("load: mix weight for %s is negative", e.Kind)
+		}
+		total += e.Weight
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("load: mix has no positive weight")
+	}
+
+	var offsets []time.Duration
+	switch cfg.Mode {
+	case ModeOpen:
+		if cfg.RPS <= 0 {
+			return nil, fmt.Errorf("load: open-loop schedule needs RPS > 0")
+		}
+		if cfg.Duration <= 0 {
+			return nil, fmt.Errorf("load: open-loop schedule needs Duration > 0")
+		}
+	case ModeClosed:
+		if cfg.Count <= 0 {
+			return nil, fmt.Errorf("load: closed-loop schedule needs Count > 0")
+		}
+	default:
+		return nil, fmt.Errorf("load: unknown mode %q", cfg.Mode)
+	}
+
+	rng := tensor.NewRNG(cfg.Seed)
+	if cfg.Mode == ModeOpen {
+		// Poisson process: exponential inter-arrival gaps at rate RPS.
+		// Drawn before any body generation so the arrival pattern depends
+		// only on (seed, rps, duration), not on the mix.
+		at := time.Duration(0)
+		for {
+			gap := -math.Log(1-rng.Float64()) / cfg.RPS // seconds
+			at += time.Duration(gap * float64(time.Second))
+			if at >= cfg.Duration {
+				break
+			}
+			offsets = append(offsets, at)
+		}
+		if len(offsets) == 0 {
+			return nil, fmt.Errorf("load: no arrivals drawn in %v at %.3g rps", cfg.Duration, cfg.RPS)
+		}
+	} else {
+		offsets = make([]time.Duration, cfg.Count)
+	}
+
+	sched := &Schedule{Config: cfg, Requests: make([]Request, len(offsets))}
+	for i, off := range offsets {
+		kind := drawKind(rng, cfg.Mix, total)
+		req, err := buildRequest(rng, kind, cfg)
+		if err != nil {
+			return nil, err
+		}
+		req.Offset = off
+		sched.Requests[i] = req
+	}
+	return sched, nil
+}
+
+// drawKind samples one scenario kind by cumulative weight.
+func drawKind(rng *tensor.RNG, mix Mix, total float64) Kind {
+	r := rng.Float64() * total
+	acc := 0.0
+	for _, e := range mix {
+		acc += e.Weight
+		if r < acc {
+			return e.Kind
+		}
+	}
+	// Float accumulation can land exactly on total; the last positive
+	// entry owns that edge.
+	for i := len(mix) - 1; i >= 0; i-- {
+		if mix[i].Weight > 0 {
+			return mix[i].Kind
+		}
+	}
+	return mix[len(mix)-1].Kind
+}
+
+// buildRequest renders one scenario instance into a wire-ready request.
+func buildRequest(rng *tensor.RNG, kind Kind, cfg ScheduleConfig) (Request, error) {
+	switch kind {
+	case KindZoo:
+		body, err := marshalBody(zooPredict(rng, cfg.Dataset))
+		return Request{Kind: kind, Path: "/v1/predict", Body: body, Expect: 200}, err
+	case KindBatch:
+		n := 2 + rng.Intn(3) // 2–4 items
+		br := core.BatchRequest{Requests: make([]core.PredictRequest, n)}
+		for i := range br.Requests {
+			br.Requests[i] = zooPredict(rng, cfg.Dataset)
+		}
+		body, err := marshalBody(br)
+		return Request{Kind: kind, Path: "/v1/predict/batch", Body: body, Expect: 200}, err
+	case KindCustom:
+		g := graph.RandomGraphSpec(rng, graph.Config{}, customRandomSpec())
+		body, err := marshalBody(core.PredictRequest{
+			Dataset:    cfg.Dataset,
+			Graph:      g.Spec(),
+			NumServers: 1 + rng.Intn(16),
+		})
+		return Request{Kind: kind, Path: "/v1/predict", Body: body, Expect: 200}, err
+	case KindNotFound:
+		body, err := marshalBody(core.PredictRequest{
+			Dataset:    "no-such-dataset",
+			Model:      zooModels()[rng.Intn(len(zooModels()))],
+			NumServers: 1 + rng.Intn(16),
+		})
+		return Request{Kind: kind, Path: "/v1/predict", Body: body, Expect: 404}, err
+	case KindOversized:
+		// A structurally valid predict request padded past the admission
+		// cap: the server must reject it at MaxBytesReader, before any
+		// parsing or prediction work.
+		pad := strings.Repeat("x", int(cfg.ServerMaxBody)+4096)
+		body := []byte(fmt.Sprintf(`{"dataset":%q,"model":"resnet18","num_servers":1,"pad":%q}`,
+			cfg.Dataset, pad))
+		return Request{Kind: kind, Path: "/v1/predict", Body: body, Expect: 413}, nil
+	default:
+		return Request{}, fmt.Errorf("load: unknown scenario kind %q", kind)
+	}
+}
+
+// zooPredict draws one warm-path predict request.
+func zooPredict(rng *tensor.RNG, dataset string) core.PredictRequest {
+	models := zooModels()
+	return core.PredictRequest{
+		Dataset:    dataset,
+		Model:      models[rng.Intn(len(models))],
+		NumServers: 1 + rng.Intn(16),
+	}
+}
+
+func marshalBody(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("load: request body marshal: %w", err)
+	}
+	return b, nil
+}

@@ -1,0 +1,188 @@
+package load
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterminism is the reproducibility contract: equal seeds and
+// configs yield byte-identical schedules — arrival offsets, scenario
+// sequence, and every request body — for both arrival disciplines.
+func TestScheduleDeterminism(t *testing.T) {
+	cfgs := []ScheduleConfig{
+		{Seed: 42, Mode: ModeOpen, RPS: 500, Duration: 200 * time.Millisecond},
+		{Seed: 42, Mode: ModeClosed, Count: 60},
+	}
+	for _, cfg := range cfgs {
+		a, err := BuildSchedule(cfg)
+		if err != nil {
+			t.Fatalf("BuildSchedule(%s): %v", cfg.Mode, err)
+		}
+		b, err := BuildSchedule(cfg)
+		if err != nil {
+			t.Fatalf("BuildSchedule(%s) second run: %v", cfg.Mode, err)
+		}
+		ca, err := a.Canonical()
+		if err != nil {
+			t.Fatalf("Canonical: %v", err)
+		}
+		cb, err := b.Canonical()
+		if err != nil {
+			t.Fatalf("Canonical: %v", err)
+		}
+		if !bytes.Equal(ca, cb) {
+			t.Errorf("%s: same seed produced different schedules (%d vs %d bytes)",
+				cfg.Mode, len(ca), len(cb))
+		}
+
+		other := cfg
+		other.Seed = 43
+		c, err := BuildSchedule(other)
+		if err != nil {
+			t.Fatalf("BuildSchedule(seed 43): %v", err)
+		}
+		cc, err := c.Canonical()
+		if err != nil {
+			t.Fatalf("Canonical: %v", err)
+		}
+		if bytes.Equal(ca, cc) {
+			t.Errorf("%s: different seeds produced identical schedules", cfg.Mode)
+		}
+	}
+}
+
+// TestScheduleMixOrderInvariance: two spellings of the same -mix flag must
+// build identical schedules — ParseMix normalizes to canonical kind order,
+// so shuffling the flag's entries cannot perturb the RNG draw sequence.
+func TestScheduleMixOrderInvariance(t *testing.T) {
+	m1, err := ParseMix("zoo=70,batch=10,custom=10,notfound=5,oversized=5")
+	if err != nil {
+		t.Fatalf("ParseMix: %v", err)
+	}
+	m2, err := ParseMix("oversized=5,notfound=5,custom=10,batch=10,zoo=70")
+	if err != nil {
+		t.Fatalf("ParseMix (shuffled): %v", err)
+	}
+	base := ScheduleConfig{Seed: 7, Mode: ModeOpen, RPS: 400, Duration: 250 * time.Millisecond}
+	c1 := base
+	c1.Mix = m1
+	c2 := base
+	c2.Mix = m2
+	a, err := BuildSchedule(c1)
+	if err != nil {
+		t.Fatalf("BuildSchedule: %v", err)
+	}
+	b, err := BuildSchedule(c2)
+	if err != nil {
+		t.Fatalf("BuildSchedule: %v", err)
+	}
+	ca, _ := a.Canonical()
+	cb, _ := b.Canonical()
+	if !bytes.Equal(ca, cb) {
+		t.Errorf("shuffled mix spelling changed the schedule")
+	}
+}
+
+// TestScheduleArrivalShape sanity-checks the Poisson draw: offsets are
+// nondecreasing, inside the window, and roughly RPS×Duration in count.
+func TestScheduleArrivalShape(t *testing.T) {
+	cfg := ScheduleConfig{Seed: 5, Mode: ModeOpen, RPS: 1000, Duration: time.Second}
+	sched, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatalf("BuildSchedule: %v", err)
+	}
+	prev := time.Duration(-1)
+	for i, r := range sched.Requests {
+		if r.Offset < prev {
+			t.Fatalf("offset %d decreased: %v after %v", i, r.Offset, prev)
+		}
+		if r.Offset >= cfg.Duration {
+			t.Fatalf("offset %d = %v outside window %v", i, r.Offset, cfg.Duration)
+		}
+		if len(r.Body) == 0 {
+			t.Fatalf("request %d has empty body", i)
+		}
+		prev = r.Offset
+	}
+	n := len(sched.Requests)
+	if n < 800 || n > 1200 {
+		t.Errorf("drew %d arrivals for 1000 rps over 1 s; want roughly 1000", n)
+	}
+}
+
+// TestScheduleContracts: each scenario kind carries its documented status
+// contract and target path, and oversized bodies actually exceed the cap.
+func TestScheduleContracts(t *testing.T) {
+	cfg := ScheduleConfig{
+		Seed: 9, Mode: ModeClosed, Count: 200,
+		Mix: Mix{{KindZoo, 1}, {KindBatch, 1}, {KindCustom, 1}, {KindNotFound, 1}, {KindOversized, 1}},
+	}
+	sched, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatalf("BuildSchedule: %v", err)
+	}
+	seen := map[Kind]int{}
+	for _, r := range sched.Requests {
+		seen[r.Kind]++
+		switch r.Kind {
+		case KindZoo, KindCustom:
+			if r.Path != "/v1/predict" || r.Expect != 200 {
+				t.Fatalf("%s: path %q expect %d", r.Kind, r.Path, r.Expect)
+			}
+		case KindBatch:
+			if r.Path != "/v1/predict/batch" || r.Expect != 200 {
+				t.Fatalf("batch: path %q expect %d", r.Path, r.Expect)
+			}
+		case KindNotFound:
+			if r.Expect != 404 {
+				t.Fatalf("notfound: expect %d", r.Expect)
+			}
+		case KindOversized:
+			if r.Expect != 413 {
+				t.Fatalf("oversized: expect %d", r.Expect)
+			}
+			if int64(len(r.Body)) <= DefaultOversizedTarget {
+				t.Fatalf("oversized body is %d bytes, not above the %d cap",
+					len(r.Body), DefaultOversizedTarget)
+			}
+		}
+	}
+	for _, k := range kinds() {
+		if seen[k] == 0 {
+			t.Errorf("kind %s never drawn in 200 equal-weight samples", k)
+		}
+	}
+}
+
+func TestParseMixErrors(t *testing.T) {
+	cases := []string{
+		"zoo",           // not kind=weight
+		"warp=3",        // unknown kind
+		"zoo=1,zoo=2",   // duplicate
+		"zoo=-1",        // negative
+		"zoo=0,batch=0", // no positive weight
+		"zoo=abc",       // unparseable weight
+		"",              // empty
+	}
+	for _, s := range cases {
+		if _, err := ParseMix(s); err == nil {
+			t.Errorf("ParseMix(%q): want error, got nil", s)
+		}
+	}
+}
+
+func TestBuildScheduleValidation(t *testing.T) {
+	cases := []ScheduleConfig{
+		{Seed: 1, Mode: ModeOpen, RPS: 0, Duration: time.Second},
+		{Seed: 1, Mode: ModeOpen, RPS: 100, Duration: 0},
+		{Seed: 1, Mode: ModeClosed, Count: 0},
+		{Seed: 1, Mode: "drip"},
+		{Seed: 1, Mode: ModeClosed, Count: 5, Mix: Mix{{KindZoo, -1}}},
+	}
+	for i, cfg := range cases {
+		if _, err := BuildSchedule(cfg); err == nil {
+			t.Errorf("case %d: want error, got nil", i)
+		}
+	}
+}

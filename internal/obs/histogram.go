@@ -121,6 +121,7 @@ func (h *Histogram) snapshot(name string) HistogramValue {
 		}
 		hv.Buckets[i] = BucketValue{UpperBound: ub, Count: n}
 	}
+	hv.Overflow = hv.Buckets[len(hv.Buckets)-1].Count
 	return hv
 }
 
@@ -132,6 +133,13 @@ type HistogramValue struct {
 	Count   uint64        `json:"count"`
 	Sum     float64       `json:"sum"`
 	Buckets []BucketValue `json:"buckets"`
+	// Overflow is the +Inf bucket's count surfaced as a first-class field:
+	// observations above the last finite bound, where quantile estimates
+	// saturate. A non-zero overflow on a latency histogram means reported
+	// upper quantiles understate reality (the server is beyond its bucket
+	// ladder — overloaded, for a latency metric), so /v1/metrics consumers
+	// and BENCH_serve.json can gate on it without digging through buckets.
+	Overflow uint64 `json:"overflow"`
 }
 
 // BucketValue is one histogram bucket. The +Inf upper bound serializes as
@@ -154,9 +162,25 @@ func (hv HistogramValue) Mean() float64 {
 // estimator. Values in the overflow bucket are reported as the last finite
 // bound (the estimate saturates rather than inventing an upper bound).
 // Returns 0 with no observations.
+//
+// A saturated result silently understates the true quantile; consumers
+// that must distinguish "p99 really is 10s" from "p99 is somewhere above
+// the bucket ladder" use QuantileSaturated instead.
 func (hv HistogramValue) Quantile(q float64) float64 {
+	v, _ := hv.QuantileSaturated(q)
+	return v
+}
+
+// QuantileSaturated is Quantile plus an explicit saturation mark: the
+// second return is true when the target rank lands in the +Inf overflow
+// bucket, i.e. the returned value is the last finite bound acting as a
+// floor on the true quantile rather than an estimate of it. An overloaded
+// server's flat "p99 = 10s" readings carry saturated=true, so dashboards
+// and the ddlload regression gate can flag them instead of comparing a
+// clamp against a clamp.
+func (hv HistogramValue) QuantileSaturated(q float64) (v float64, saturated bool) {
 	if hv.Count == 0 || q <= 0 {
-		return 0
+		return 0, false
 	}
 	if q > 1 {
 		q = 1
@@ -167,18 +191,19 @@ func (hv HistogramValue) Quantile(q float64) float64 {
 	for _, b := range hv.Buckets {
 		upper := b.UpperBound
 		if math.IsInf(upper, 1) {
-			// Saturate at the last finite bound.
-			return lower
+			// The rank reaches the overflow bucket: saturate at the last
+			// finite bound and say so.
+			return lower, true
 		}
 		next := seen + float64(b.Count)
 		if next >= rank {
 			if b.Count == 0 {
-				return upper
+				return upper, false
 			}
-			return lower + (upper-lower)*(rank-seen)/float64(b.Count)
+			return lower + (upper-lower)*(rank-seen)/float64(b.Count), false
 		}
 		seen = next
 		lower = upper
 	}
-	return lower
+	return lower, false
 }

@@ -70,6 +70,43 @@ func TestQuantileOverflowSaturates(t *testing.T) {
 	}
 }
 
+// The saturation mark distinguishes a real quantile estimate from the
+// clamped floor an overloaded server reports: ranks inside finite buckets
+// come back unsaturated, ranks landing in the +Inf bucket come back
+// saturated, and the snapshot surfaces the overflow count directly.
+func TestQuantileSaturatedAndOverflowCount(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(0.5) // bucket (<=1)
+	h.Observe(1.5) // bucket (<=2)
+	h.Observe(100) // overflow
+	h.Observe(200) // overflow
+	hv := h.snapshot("h")
+	if hv.Overflow != 2 {
+		t.Fatalf("Overflow = %d, want 2", hv.Overflow)
+	}
+	if v, sat := hv.QuantileSaturated(0.25); sat || v != 1 {
+		t.Fatalf("p25 = (%v, %v), want (1, false): rank 1 of 4 fills the first bucket", v, sat)
+	}
+	if v, sat := hv.QuantileSaturated(0.99); !sat || v != 2 {
+		t.Fatalf("p99 = (%v, %v), want saturation at last finite bound (2, true)", v, sat)
+	}
+	// Quantile stays the saturating estimator for callers that only want a
+	// number.
+	if got := hv.Quantile(0.99); got != 2 {
+		t.Fatalf("Quantile(0.99) = %v, want 2", got)
+	}
+	// With no overflow observations, the top quantile is a real estimate.
+	h2 := newHistogram([]float64{1, 2})
+	h2.Observe(0.5)
+	hv2 := h2.snapshot("h")
+	if hv2.Overflow != 0 {
+		t.Fatalf("Overflow = %d, want 0", hv2.Overflow)
+	}
+	if _, sat := hv2.QuantileSaturated(1); sat {
+		t.Fatal("quantile saturated without overflow observations")
+	}
+}
+
 func TestQuantileEmpty(t *testing.T) {
 	hv := newHistogram(nil).snapshot("h")
 	if hv.Quantile(0.5) != 0 || hv.Mean() != 0 {

@@ -61,8 +61,15 @@ func (s Snapshot) Text() string {
 		fmt.Fprintf(&b, "%-*s %d\n", width, g.Name, g.Value)
 	}
 	for _, h := range s.Histograms {
-		fmt.Fprintf(&b, "%-*s count=%d mean=%.6g p50=%.6g p99=%.6g\n",
-			width, h.Name, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
+		p99, saturated := h.QuantileSaturated(0.99)
+		mark := ""
+		if saturated {
+			// The rank lands in the +Inf bucket: the printed value is the
+			// last finite bound acting as a floor, not an estimate.
+			mark = "+"
+		}
+		fmt.Fprintf(&b, "%-*s count=%d mean=%.6g p50=%.6g p99=%.6g%s overflow=%d\n",
+			width, h.Name, h.Count, h.Mean(), h.Quantile(0.5), p99, mark, h.Overflow)
 		for _, bk := range h.Buckets {
 			if bk.Count == 0 {
 				continue
