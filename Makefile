@@ -52,6 +52,11 @@ loadbench:
 		-closed-requests 300 -concurrency 8 -trial-duration 800ms \
 		-max-rps-cap 800 -out BENCH_serve.json \
 		-baseline BENCH_serve_baseline.json -max-p99-regress 0.15
+	$(GO) run ./cmd/ddlload -self -gateway -gateway-replicas 2 -seed 1 \
+		-rps 120 -duration 3s -closed-requests 300 -concurrency 8 \
+		-mix "zoo=40,batch=10,custom=10,gateway=30,notfound=5,oversized=5" \
+		-trial-duration 800ms -max-rps-cap 600 -out BENCH_serve_gateway.json \
+		-baseline BENCH_serve_gateway_baseline.json -max-p99-regress 0.15
 
 # End-to-end smoke: the live-cluster example trains a predictor, runs
 # collector + agents + HTTP controller in one process, and survives an

@@ -12,8 +12,17 @@
 // Usage:
 //
 //	ddlload -self -out BENCH_serve.json                  # in-process target
+//	ddlload -self -gateway -gateway-replicas 2 \
+//	        -mix "zoo=40,batch=10,custom=10,gateway=30,notfound=5,oversized=5"
 //	ddlload -addr http://host:8080 -rps 200 -duration 10s
 //	ddlload -compare-only -out BENCH_serve.json -baseline BENCH_serve_baseline.json
+//
+// -gateway -self stands up a multi-replica topology (synthetic controllers
+// behind a consistent-hash gateway) and drives the front door; the gateway
+// scenario kind rotates predicts across datasets owned by distinct shards,
+// and the report gains a per-shard section (requests/errors/shed per
+// shard, rebalances, fan-out latency). The run fails if traffic reached
+// fewer than two shards.
 //
 // With -baseline the run ends with the regression gate: a >15% p99
 // regression (tunable via -max-p99-regress, modulo -noise-floor) against
@@ -30,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"predictddl/internal/core"
@@ -47,6 +57,9 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("ddlload", flag.ExitOnError)
 	addr := fs.String("addr", "", "target server base URL (e.g. http://127.0.0.1:8080); empty requires -self")
 	self := fs.Bool("self", false, "stand up an in-process synthetic-controller server and drive it (enables the allocs/op probe)")
+	gatewayMode := fs.Bool("gateway", false, "with -self: stand up a multi-replica gateway topology and drive its front door; with -addr: treat the target as a gateway and record the per-shard report section")
+	gatewayReplicas := fs.Int("gateway-replicas", 2, "replica count of the -self -gateway topology")
+	gatewayDatasets := fs.String("gateway-datasets", "", "comma-separated datasets the gateway scenario rotates across (auto-derived per shard in -self mode)")
 	dataset := fs.String("dataset", "cifar10", "dataset every well-formed request names (must be served by the target)")
 	seed := fs.Int64("seed", 1, "schedule seed: equal seeds replay identical request schedules")
 	mixFlag := fs.String("mix", "zoo=70,batch=10,custom=10,notfound=5,oversized=5", "scenario blend, kind=weight pairs")
@@ -83,30 +96,57 @@ func run(args []string) error {
 
 	baseURL := *addr
 	var ctrl *core.Controller
+	var gwDatasets []string
+	if *gatewayDatasets != "" {
+		for _, d := range strings.Split(*gatewayDatasets, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				gwDatasets = append(gwDatasets, d)
+			}
+		}
+	}
 	if *self {
 		if baseURL != "" {
 			return fmt.Errorf("-self and -addr are mutually exclusive")
 		}
-		var stop func() error
-		ctrl, baseURL, stop, err = startSelf(ctx, *seed, *dataset)
-		if err != nil {
-			return err
-		}
-		defer func() {
-			if serr := stop(); serr != nil {
-				fmt.Fprintln(os.Stderr, "ddlload: self server stop:", serr)
+		if *gatewayMode {
+			topo, terr := load.StartGatewayTopology(ctx, *seed, *gatewayReplicas, *dataset)
+			if terr != nil {
+				return terr
 			}
-		}()
+			defer func() {
+				if serr := topo.Stop(); serr != nil {
+					fmt.Fprintln(os.Stderr, "ddlload: gateway topology stop:", serr)
+				}
+			}()
+			baseURL = topo.URL
+			if gwDatasets == nil {
+				gwDatasets = topo.ShardDatasets
+			}
+			fmt.Printf("in-process gateway on %s fronting %d replicas (shard datasets %v)\n",
+				baseURL, len(topo.ReplicaURLs), topo.ShardDatasets)
+		} else {
+			var stop func() error
+			ctrl, baseURL, stop, err = startSelf(ctx, *seed, *dataset)
+			if err != nil {
+				return err
+			}
+			defer func() {
+				if serr := stop(); serr != nil {
+					fmt.Fprintln(os.Stderr, "ddlload: self server stop:", serr)
+				}
+			}()
+		}
 	}
 	if baseURL == "" {
 		return fmt.Errorf("need -addr URL or -self")
 	}
 
 	cfg := load.ScheduleConfig{
-		Seed:          *seed,
-		Mix:           mix,
-		Dataset:       *dataset,
-		ServerMaxBody: *serverMaxBody,
+		Seed:            *seed,
+		Mix:             mix,
+		Dataset:         *dataset,
+		ServerMaxBody:   *serverMaxBody,
+		GatewayDatasets: gwDatasets,
 	}
 	runner := &load.Runner{BaseURL: baseURL}
 	rep := load.NewReport(*seed, *slo)
@@ -171,6 +211,28 @@ func run(args []string) error {
 		}
 		rep.AllocsPerOpPredict = allocs
 		fmt.Printf("allocs/op (warm /v1/predict, in-process): %.1f\n", allocs)
+	}
+
+	// Per-shard section: the gateway's own counters after the whole run.
+	if *gatewayMode {
+		snap, serr := load.ScrapeMetrics(runner.HTTPClient(), baseURL)
+		if serr != nil {
+			return fmt.Errorf("gateway metrics scrape: %w", serr)
+		}
+		rep.Gateway = load.GatewayReportFromSnapshot(snap)
+		if rep.Gateway == nil {
+			return fmt.Errorf("-gateway set but %s exposes no gateway.shard.* counters", baseURL)
+		}
+		activeShards := 0
+		for _, sh := range rep.Gateway.Shards {
+			fmt.Printf("  shard %s: requests=%d errors=%d shed=%d\n", sh.Shard, sh.Requests, sh.Errors, sh.Shed)
+			if sh.Requests > 0 {
+				activeShards++
+			}
+		}
+		if activeShards < 2 {
+			return fmt.Errorf("gateway run routed traffic to %d shards; want >= 2 (is the gateway mix entry weighted?)", activeShards)
+		}
 	}
 
 	if err := rep.WriteFile(*out); err != nil {

@@ -12,6 +12,16 @@
 // (§III-D of the paper: Controller + Listener + Task Checker). With
 // -collector ADDR it also runs the Cluster Resource Collector and uses the
 // live inventory when requests omit an explicit cluster.
+//
+// gateway fronts N serve replicas with a consistent-hash router
+// (DESIGN.md §13): datasets shard across the replicas, /v1/predict/batch
+// fans out to the owning shards, dead replicas fail over to their ring
+// successor, and the live-host inventory replicates across every
+// replica's collector:
+//
+//	predictddl gateway -addr :8090 \
+//	    -replicas http://host-a:8080,http://host-b:8080 \
+//	    -collectors host-a:7070,host-b:7070
 package main
 
 import (
@@ -31,6 +41,7 @@ import (
 	"predictddl/internal/cluster"
 	"predictddl/internal/core"
 	"predictddl/internal/dataset"
+	"predictddl/internal/gateway"
 )
 
 func main() {
@@ -46,6 +57,8 @@ func main() {
 		err = runPredict(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
+	case "gateway":
+		err = runGateway(os.Args[2:])
 	case "models":
 		for _, m := range predictddl.Zoo() {
 			fmt.Println(m)
@@ -79,6 +92,10 @@ func usage() {
                      [-read-timeout 30s] [-write-timeout 2m] [-idle-timeout 2m]
                      [-shutdown-timeout 30s] [-max-body N] [-max-batch N] [-collector-ttl 30s]
                      [-pprof] [-trace-log] [-infer32]
+  predictddl gateway -addr :8090 -replicas URL,URL,... [-collectors ADDR,ADDR,...]
+                     [-seed 1] [-vnodes 64] [-shard-inflight N]
+                     [-health-interval 1s] [-health-timeout 500ms] [-replicate-interval 1s]
+                     [-max-body N] [-max-batch N] [-shutdown-timeout 30s]
   predictddl models | datasets | specs`)
 }
 
@@ -179,6 +196,77 @@ func runPredict(args []string) error {
 	fmt.Printf("%s on %s (%s): predicted training time %.1f s (%.2f h)\n",
 		*model, where, *ds, secs, secs/3600)
 	return nil
+}
+
+// splitList parses a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func runGateway(args []string) error {
+	fs := flag.NewFlagSet("gateway", flag.ExitOnError)
+	addr := fs.String("addr", ":8090", "HTTP listen address")
+	replicas := fs.String("replicas", "", "comma-separated controller base URLs forming the ring (required)")
+	collectors := fs.String("collectors", "", "comma-separated collector TCP addresses to replicate the live inventory to")
+	seed := fs.Int64("seed", 1, "ring placement + probe jitter seed (equal seeds and replica sets route identically)")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per replica (0 = default)")
+	shardInflight := fs.Int("shard-inflight", 0, "max concurrent forwards per shard before shedding with 503+Retry-After (0 = unlimited)")
+	healthInterval := fs.Duration("health-interval", gateway.DefaultHealthInterval, "pause between health-probe rounds")
+	healthTimeout := fs.Duration("health-timeout", gateway.DefaultHealthTimeout, "per-probe timeout")
+	replicateInterval := fs.Duration("replicate-interval", gateway.DefaultReplicateInterval, "pause between inventory replication rounds")
+	maxBody := fs.Int64("max-body", core.DefaultMaxBodyBytes, "max POST body bytes admitted at the front door")
+	maxBatch := fs.Int("max-batch", core.DefaultMaxBatchItems, "max requests per /v1/predict/batch call")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max time to read one request")
+	writeTimeout := fs.Duration("write-timeout", 2*time.Minute, "max time to handle and write one response")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "graceful drain window on SIGINT/SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	urls := splitList(*replicas)
+	if len(urls) == 0 {
+		return fmt.Errorf("-replicas is required (comma-separated controller base URLs)")
+	}
+	gw, err := gateway.New(gateway.Options{
+		Replicas:          urls,
+		CollectorAddrs:    splitList(*collectors),
+		Seed:              *seed,
+		VNodes:            *vnodes,
+		ShardInflight:     *shardInflight,
+		HealthInterval:    *healthInterval,
+		HealthTimeout:     *healthTimeout,
+		ReplicateInterval: *replicateInterval,
+		MaxBodyBytes:      *maxBody,
+		MaxBatchItems:     *maxBatch,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := core.NewServer(*addr, gw.Handler(), core.ServerOptions{
+		ReadTimeout:     *readTimeout,
+		WriteTimeout:    *writeTimeout,
+		IdleTimeout:     *idleTimeout,
+		ShutdownTimeout: *shutdownTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Health + replication loops run until the signal lands; the HTTP
+	// server then drains gracefully exactly like serve.
+	go gw.Run(ctx)
+	for _, u := range urls {
+		fmt.Fprintf(os.Stderr, "shard %s → %s\n", gw.ShardLabel(u), u)
+	}
+	fmt.Fprintf(os.Stderr, "gateway listening on %s (%d replicas)\n", srv.Addr(), len(urls))
+	return srv.Serve(ctx)
 }
 
 func runServe(args []string) error {

@@ -1,17 +1,25 @@
-// Live-cluster prediction: the full distributed pipeline in one process.
-// A Cluster Resource Collector (§III-F of the paper) listens on TCP; agent
-// processes register their machines and stream utilization; the controller
-// serves predictions over HTTP against the *live* inventory — so the same
-// request returns different estimates as servers join or report load,
-// without the client ever describing the cluster. The finale injects a
-// collector crash + restart: the reconnecting agents redial with seeded
-// backoff and the inventory rebuilds itself with no agent restarts.
+// Live multi-replica serving: the full PredictDDL topology in one process.
+// Three controller replicas — each with its own Cluster Resource Collector
+// (§III-F of the paper) — sit behind a consistent-hash gateway (DESIGN.md
+// §13). Datasets shard across the replicas, agents register with different
+// collectors, and the gateway replicates the live-host inventory so every
+// shard prices predictions against the whole cluster. The finale kills the
+// replica that owns cifar10 — collector and all — while traffic is
+// flowing: every request still answers 200 through ring-successor
+// failover, and the gateway's own /v1/metrics account for the rebalance.
+//
+// This run doubles as the CI smoke gate for the gateway tier: it fails
+// loudly on any contract violation (a non-200 during failover, a batch
+// item that lost its per-item status) or on silent telemetry (zero
+// rebalances, one-shard traffic, an empty fan-out histogram, no
+// replication pushes).
 //
 // Run with: go run ./examples/livecluster
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -22,45 +30,96 @@ import (
 	"predictddl"
 	"predictddl/internal/cluster"
 	"predictddl/internal/core"
+	"predictddl/internal/gateway"
 	"predictddl/internal/obs"
 )
+
+const (
+	replicaCount  = 3
+	agentsPerNode = 2 // agents registered with each replica's collector
+)
+
+var modelFor = map[string]string{
+	"cifar10":       "resnet50",
+	"tiny-imagenet": "resnet18",
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("livecluster: ")
 
-	// Offline: train the predictor once.
-	p, err := predictddl.Train(predictddl.Options{
-		Dataset:   "cifar10",
-		GHNGraphs: 96,
-		GHNEpochs: 8,
-		Models: []string{
-			"resnet18", "resnet50", "vgg16", "alexnet",
-			"squeezenet1_1", "mobilenet_v2", "densenet121",
-		},
-		ServerCounts: []int{1, 2, 4, 8, 12, 16},
+	// Offline: train one quick predictor per dataset. The replicas share
+	// the trained predictors — sharding is about request ownership and
+	// failover, not per-replica model state — which keeps the smoke fast.
+	train := func(ds string) *predictddl.Predictor {
+		p, err := predictddl.Train(predictddl.Options{
+			Dataset:      ds,
+			GHNGraphs:    64,
+			GHNEpochs:    6,
+			Models:       []string{"resnet18", "resnet50", "vgg16", "alexnet"},
+			ServerCounts: []int{1, 2, 4, 8, 12, 16},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+	datasets := []string{"cifar10", "tiny-imagenet"}
+	preds := []*predictddl.Predictor{train("cifar10"), train("tiny-imagenet")}
+
+	// Online: three controller replicas, each with its own collector.
+	var (
+		servers    []*httptest.Server
+		collectors []*cluster.Collector
+		replicaURL []string
+		colAddrs   []string
+	)
+	for i := 0; i < replicaCount; i++ {
+		ctrl := predictddl.NewController(preds...)
+		col, err := cluster.NewCollector("127.0.0.1:0", cluster.CollectorOptions{Obs: ctrl.Metrics()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctrl.SetCollector(col)
+		srv := httptest.NewServer(ctrl.Handler())
+		servers = append(servers, srv)
+		collectors = append(collectors, col)
+		replicaURL = append(replicaURL, srv.URL)
+		colAddrs = append(colAddrs, col.Addr())
+	}
+	defer func() {
+		for i := range servers {
+			servers[i].Close() // idempotent; the victim is already closed
+			_ = collectors[i].Close()
+		}
+	}()
+
+	// The gateway fronts the replicas: seeded ring, fast health probing and
+	// inventory replication so the single-process demo converges quickly.
+	gw, err := gateway.New(gateway.Options{
+		Replicas:          replicaURL,
+		CollectorAddrs:    colAddrs,
+		Seed:              7,
+		HealthInterval:    100 * time.Millisecond,
+		ReplicateInterval: 150 * time.Millisecond,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Online: start the resource collector and attach it to the controller.
-	// The collector reports into the controller's metrics registry, so the
-	// finale can read the whole run off /v1/metrics.
-	ctrl := predictddl.NewController(p)
-	col, err := cluster.NewCollector("127.0.0.1:0", cluster.CollectorOptions{Obs: ctrl.Metrics()})
-	if err != nil {
-		log.Fatal(err)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	gw.CheckNow(ctx)
+	go gw.Run(ctx)
+	front := httptest.NewServer(gw.Handler())
+	defer front.Close()
+	for i, u := range replicaURL {
+		log.Printf("replica %s on %s (collector %s)", gw.ShardLabel(u), u, colAddrs[i])
 	}
-	defer func() { col.Close() }()
-	ctrl.SetCollector(col)
-	srv := httptest.NewServer(ctrl.Handler())
-	defer srv.Close()
-	log.Printf("collector on %s, controller on %s", col.Addr(), srv.URL)
+	log.Printf("gateway on %s", front.URL)
 
-	predict := func(model string) {
-		body, _ := json.Marshal(core.PredictRequest{Dataset: "cifar10", Model: model})
-		resp, err := http.Post(srv.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	predict := func(ds string) (int, core.PredictResponse, string) {
+		body, _ := json.Marshal(core.PredictRequest{Dataset: ds, Model: modelFor[ds]})
+		resp, err := http.Post(front.URL+"/v1/predict", "application/json", bytes.NewReader(body))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -68,141 +127,213 @@ func main() {
 		if resp.StatusCode != http.StatusOK {
 			var e map[string]string
 			_ = json.NewDecoder(resp.Body).Decode(&e)
-			fmt.Printf("  %-10s → %s\n", model, e["error"])
-			return
+			return resp.StatusCode, core.PredictResponse{}, e["error"]
 		}
 		var pr core.PredictResponse
 		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-10s → %.1f s on the %d live server(s)\n", model, pr.PredictedSeconds, pr.NumServers)
+		return resp.StatusCode, pr, ""
 	}
-
-	waitForServers := func(n int) {
-		deadline := time.Now().Add(5 * time.Second)
-		for len(col.Snapshot()) < n {
-			if time.Now().After(deadline) {
-				log.Fatalf("only %d/%d agents registered", len(col.Snapshot()), n)
-			}
-			time.Sleep(2 * time.Millisecond)
+	batch := func() core.BatchResponse {
+		var reqs []core.PredictRequest
+		for _, ds := range datasets {
+			reqs = append(reqs, core.PredictRequest{Dataset: ds, Model: modelFor[ds]})
 		}
-	}
-
-	fmt.Println("\n1) no servers registered yet — the task checker rejects the request:")
-	predict("resnet50")
-
-	// Agents run in reconnecting mode with fast, seeded backoff: a dropped
-	// collector connection heals itself (exercised in step 5).
-	dialAgent := func(i int) *cluster.Agent {
-		a, err := cluster.DialAgentOptions(col.Addr(), fmt.Sprintf("gpu-%02d", i), cluster.SpecGPUP100(),
-			cluster.AgentOptions{
-				Reconnect:   true,
-				BaseBackoff: 10 * time.Millisecond,
-				MaxBackoff:  250 * time.Millisecond,
-				MaxAttempts: 12,
-				Seed:        int64(i),
-			})
+		body, _ := json.Marshal(core.BatchRequest{Requests: reqs})
+		resp, err := http.Post(front.URL+"/v1/predict/batch", "application/json", bytes.NewReader(body))
 		if err != nil {
 			log.Fatal(err)
 		}
-		return a
-	}
-
-	fmt.Println("\n2) two GPU servers join the cluster:")
-	var agents []*cluster.Agent
-	for i := 1; i <= 2; i++ {
-		agents = append(agents, dialAgent(i))
-	}
-	waitForServers(2)
-	predict("resnet50")
-
-	fmt.Println("\n3) six more servers join (8 total):")
-	for i := 3; i <= 8; i++ {
-		agents = append(agents, dialAgent(i))
-	}
-	waitForServers(8)
-	predict("resnet50")
-
-	fmt.Println("\n4) half the fleet reports 60% GPU load — the estimate adapts to the")
-	fmt.Println("   live utilization (barely, here: this workload is communication-bound,")
-	fmt.Println("   so lost compute capacity costs little — see the Eq. 1-2 ablation):")
-	for i := 0; i < 4; i++ {
-		if err := agents[i].Report(0.2, 0.6, 0, 0); err != nil {
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("batch fan-out answered %d; the whole-request contract is broken", resp.StatusCode)
+		}
+		var br core.BatchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
 			log.Fatal(err)
 		}
-	}
-	// Wait for the updates to land.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		loaded := 0
-		for _, s := range col.Snapshot() {
-			if s.Server.GPUUtil > 0 {
-				loaded++
+		if len(br.Results) != len(reqs) {
+			log.Fatalf("batch returned %d items for %d requests", len(br.Results), len(reqs))
+		}
+		for i, item := range br.Results {
+			if item.Code != 0 {
+				log.Fatalf("batch item %d (%s) failed with code %d: %s", i, reqs[i].Dataset, item.Code, item.Error)
 			}
 		}
-		if loaded >= 4 || time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(2 * time.Millisecond)
+		return br
 	}
-	predict("resnet50")
+	topoStatus := func() gateway.TopologyStatus {
+		resp, err := http.Get(front.URL + "/v1/status")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st gateway.TopologyStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			log.Fatal(err)
+		}
+		return st
+	}
+	metrics := func() obs.Snapshot {
+		resp, err := http.Get(front.URL + "/v1/metrics")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var snap obs.Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			log.Fatal(err)
+		}
+		return snap
+	}
 
-	fmt.Println("\n5) the collector crashes and restarts — reconnecting agents redial with")
-	fmt.Println("   seeded backoff, re-register, and the live inventory rebuilds itself:")
-	addr := col.Addr()
-	if err := col.Close(); err != nil {
-		log.Fatal(err)
+	fmt.Println("\n1) the ring assigns each dataset a shard, but no servers have")
+	fmt.Println("   registered yet — the owning shard's task checker rejects:")
+	st := topoStatus()
+	for _, ds := range datasets {
+		code, _, msg := predict(ds)
+		fmt.Printf("  %-14s → shard %s: %d %s\n", ds, st.Assignments[ds], code, msg)
+		if code != http.StatusServiceUnavailable {
+			log.Fatalf("empty-inventory predict for %s answered %d, want 503", ds, code)
+		}
 	}
-	col, err = cluster.NewCollector(addr, cluster.CollectorOptions{Obs: ctrl.Metrics()})
-	if err != nil {
-		log.Fatal(err)
+
+	fmt.Println("\n2) six GPU servers join — two per replica collector — and the gateway")
+	fmt.Println("   replicates the merged inventory, so every shard sees all six:")
+	var agents []*cluster.Agent
+	for i := 0; i < replicaCount*agentsPerNode; i++ {
+		a, err := cluster.DialAgent(colAddrs[i/agentsPerNode], fmt.Sprintf("gpu-%02d", i+1), cluster.SpecGPUP100())
+		if err != nil {
+			log.Fatal(err)
+		}
+		agents = append(agents, a)
 	}
-	ctrl.SetCollector(col)
-	// Drive reports until the inventory rebuilds. The first write after the
-	// crash can land in the kernel buffer before the RST arrives, so one
-	// round is not guaranteed to trip the reconnect path — the next one is.
-	deadline = time.Now().Add(10 * time.Second)
-	for len(col.Snapshot()) < len(agents) && time.Now().Before(deadline) {
-		for i, a := range agents {
-			if err := a.Report(0.1, 0.2, 0, 0); err != nil {
-				log.Fatalf("agent %d did not recover from the collector restart: %v", i, err)
+	defer func() {
+		for _, a := range agents {
+			_ = a.Close()
+		}
+	}()
+	// Converged means every replica's OWN collector holds all six hosts —
+	// the union view goes to six as soon as the agents register, but a
+	// prediction is priced by one shard's local inventory, so wait for the
+	// pushes to land everywhere.
+	want := replicaCount * agentsPerNode
+	converged := func() bool {
+		for _, rep := range topoStatus().Replicas {
+			if !rep.Up || rep.LiveServers < want {
+				return false
 			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !converged() {
+		if time.Now().After(deadline) {
+			log.Fatalf("inventory never converged: replicas report %+v", topoStatus().Replicas)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("  live hosts everywhere: %v\n", topoStatus().LiveHosts)
+	for _, ds := range datasets {
+		code, pr, _ := predict(ds)
+		if code != http.StatusOK || pr.NumServers != want {
+			log.Fatalf("%s: code %d on %d servers; replication should price the full %d-server cluster", ds, code, pr.NumServers, want)
+		}
+		fmt.Printf("  %-14s → %.1f s on the %d replicated server(s)\n", ds, pr.PredictedSeconds, pr.NumServers)
+	}
+
+	fmt.Println("\n3) one batch fans out across the owning shards and reassembles in order:")
+	br := batch()
+	for i, item := range br.Results {
+		fmt.Printf("  [%d] %-14s → %.1f s\n", i, datasets[i], item.PredictedSeconds)
+	}
+
+	victim, ok := gw.Ring().Owner("cifar10")
+	if !ok {
+		log.Fatal("ring has no owner for cifar10")
+	}
+	victimIdx := -1
+	for i, u := range replicaURL {
+		if u == victim {
+			victimIdx = i
+		}
+	}
+	fmt.Printf("\n4) shard %s owns cifar10 — kill that replica (HTTP server and its\n", gw.ShardLabel(victim))
+	fmt.Println("   collector) in the middle of live traffic; every request must keep")
+	fmt.Println("   answering 200 via the ring successor:")
+	const rounds = 40
+	for i := 0; i < rounds; i++ {
+		if i == rounds/2 {
+			servers[victimIdx].Close()
+			_ = collectors[victimIdx].Close()
+		}
+		for _, ds := range datasets {
+			if code, _, msg := predict(ds); code != http.StatusOK {
+				log.Fatalf("round %d: %s answered %d (%s) mid-kill; failover contract broken", i, ds, code, msg)
+			}
+		}
+		if i%4 == 0 {
+			batch() // per-item contract asserted inside, dead shard included
+		}
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for metrics().Counter("gateway.ring.rebalances") == 0 {
+		if time.Now().After(deadline) {
+			log.Fatal("health loop never recorded the dead replica as a rebalance")
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	waitForServers(8)
-	predict("resnet50")
+	st = topoStatus()
+	for _, rep := range st.Replicas {
+		state := "up"
+		if !rep.Up {
+			state = "DOWN"
+		}
+		fmt.Printf("  shard %s (%s): %s\n", rep.Shard, rep.URL, state)
+		if (rep.URL == victim) == rep.Up {
+			log.Fatalf("topology status has shard %s up=%v; only the victim should be down", rep.Shard, rep.Up)
+		}
+	}
 
-	fmt.Println("\n6) the server's own telemetry saw all of it — /v1/metrics:")
-	mresp, err := http.Get(srv.URL + "/v1/metrics")
+	fmt.Println("\n5) an unknown dataset is still a clean 404 from a live shard — not")
+	fmt.Println("   mistaken for the degraded topology:")
+	body, _ := json.Marshal(core.PredictRequest{Dataset: "svhn", Model: "resnet18"})
+	resp, err := http.Post(front.URL+"/v1/predict", "application/json", bytes.NewReader(body))
 	if err != nil {
 		log.Fatal(err)
 	}
-	var snap obs.Snapshot
-	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
-		log.Fatal(err)
-	}
-	mresp.Body.Close()
-	ok200 := snap.Counter("http.requests.predict.200")
-	rejected := snap.Counter("http.requests.predict.503")
-	hits := snap.Counter("embed.cache.hits")
-	misses := snap.Counter("embed.cache.misses")
-	fmt.Printf("  predict requests: %d ok, %d rejected while the inventory was empty\n", ok200, rejected)
-	fmt.Printf("  embedding cache : %d misses (cold), %d hits (every repeat of the same graph)\n", misses, hits)
-	fmt.Printf("  collector       : %d live agents, %d frames received\n",
-		snap.Gauge("collector.agents.live"), snap.Counter("collector.frames.in"))
-	// This run doubles as the CI smoke gate for the observability layer:
-	// a serving path that answered requests must show them in its own
-	// telemetry (non-zero request counters and cache traffic).
-	if ok200 == 0 || rejected == 0 || hits == 0 || misses == 0 {
-		log.Fatalf("metrics snapshot missing expected traffic: ok=%d rejected=%d hits=%d misses=%d",
-			ok200, rejected, hits, misses)
+	resp.Body.Close()
+	fmt.Printf("  svhn → %d\n", resp.StatusCode)
+	if resp.StatusCode != http.StatusNotFound {
+		log.Fatalf("unknown dataset answered %d, want 404", resp.StatusCode)
 	}
 
-	for _, a := range agents {
-		a.Close()
+	fmt.Println("\n6) the gateway's own telemetry saw all of it — /v1/metrics:")
+	snap := metrics()
+	ok200 := snap.Counter("http.requests.predict.200")
+	rebalances := snap.Counter("gateway.ring.rebalances")
+	pushes := snap.Counter("gateway.replicate.pushes")
+	activeShards := 0
+	for _, u := range replicaURL {
+		reqs := snap.Counter("gateway.shard." + gw.ShardLabel(u) + ".requests")
+		fmt.Printf("  shard %s: %d forwarded request(s)\n", gw.ShardLabel(u), reqs)
+		if reqs > 0 {
+			activeShards++
+		}
 	}
-	fmt.Println("\ndone — same request, five different answers, zero cluster descriptions sent by")
-	fmt.Println("the client, a collector restart survived without restarting a single agent, and")
-	fmt.Println("the server's own /v1/metrics accounted for every request")
+	var fanouts uint64
+	if hv, found := snap.HistogramByName("gateway.fanout.latency.seconds"); found {
+		fanouts = hv.Count
+	}
+	fmt.Printf("  predicts: %d ok; rebalances: %d; fan-outs: %d; inventory pushes: %d\n",
+		ok200, rebalances, fanouts, pushes)
+	if ok200 == 0 || rebalances == 0 || activeShards < 2 || fanouts == 0 || pushes == 0 {
+		log.Fatalf("gateway telemetry missing expected traffic: ok=%d rebalances=%d activeShards=%d fanouts=%d pushes=%d",
+			ok200, rebalances, activeShards, fanouts, pushes)
+	}
+
+	fmt.Println("\ndone — datasets sharded over three replicas, one replica killed mid-run,")
+	fmt.Println("zero failed requests, the batch contract held per item, and the gateway's")
+	fmt.Println("own /v1/metrics accounted for the rebalance, the fan-outs, and the pushes")
 }

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -82,10 +81,10 @@ type Agent struct {
 	spec     ServerSpec
 	opts     AgentOptions
 
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *json.Encoder
-	rng  *rand.Rand // seeded jitter source, guarded by mu
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *json.Encoder
+	backoff *Backoff // seeded jitter schedule (internally synchronized)
 
 	// Observability hooks (nil-safe no-ops without AgentOptions.Obs):
 	// frames successfully written, and connections re-established after a
@@ -116,7 +115,7 @@ func DialAgentOptions(addr, hostname string, spec ServerSpec, opts AgentOptions)
 		hostname: hostname,
 		spec:     spec,
 		opts:     opts,
-		rng:      rand.New(rand.NewSource(opts.Seed)),
+		backoff:  NewBackoff(opts.Seed, opts.BaseBackoff, opts.MaxBackoff),
 	}
 	if opts.Obs != nil {
 		a.framesOut = opts.Obs.Counter("agent.frames.out")
@@ -168,18 +167,12 @@ func (a *Agent) retryConnectLocked(lastErr error) error {
 	return fmt.Errorf("cluster: agent gave up after %d attempts: %w", a.opts.MaxAttempts, lastErr)
 }
 
-// backoffLocked returns the jittered exponential delay for one retry:
-// uniformly within [0.5, 1.0)·min(Base·2^attempt, Max), drawn from the
-// seeded RNG. The caller holds a.mu.
+// backoffLocked returns the jittered exponential delay for one retry,
+// delegating to the shared seeded Backoff schedule. The caller holds a.mu
+// (which also serializes the draws, keeping the replayed sequence
+// identical to the historical in-agent RNG).
 func (a *Agent) backoffLocked(attempt int) time.Duration {
-	d := a.opts.BaseBackoff
-	for i := 0; i < attempt && d < a.opts.MaxBackoff; i++ {
-		d *= 2
-	}
-	if d > a.opts.MaxBackoff {
-		d = a.opts.MaxBackoff
-	}
-	return time.Duration((0.5 + 0.5*a.rng.Float64()) * float64(d))
+	return a.backoff.Delay(attempt)
 }
 
 // dropConnLocked abandons the current connection after a transport failure.

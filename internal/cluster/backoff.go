@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff is the project's seeded exponential-backoff schedule, extracted
+// from the agent's reconnect loop so every self-healing component (agent
+// redials, gateway health probes of down replicas) paces retries the same
+// way: attempt k waits uniformly within [0.5, 1.0)·min(base·2^k, max),
+// with all jitter drawn from one seeded RNG — equal seeds replay identical
+// schedules (no process-global randomness).
+//
+// Methods are safe for concurrent use.
+type Backoff struct {
+	base, max time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand //ddlvet:guardedby mu
+}
+
+// NewBackoff builds a schedule from the given bounds. Non-positive bounds
+// select the agent defaults (50 ms base, 2 s max); a zero seed selects 1,
+// mirroring AgentOptions.
+func NewBackoff(seed int64, base, max time.Duration) *Backoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	if max < base {
+		max = base
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return &Backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay returns the jittered delay for the given zero-based attempt. Each
+// call consumes one RNG draw, so two Backoffs with equal seeds asked the
+// same sequence of attempts return identical delays.
+func (b *Backoff) Delay(attempt int) time.Duration {
+	d := b.base
+	for i := 0; i < attempt && d < b.max; i++ {
+		d *= 2
+	}
+	if d > b.max {
+		d = b.max
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return time.Duration((0.5 + 0.5*b.rng.Float64()) * float64(d))
+}

@@ -19,6 +19,12 @@ const (
 	msgRegister = "register"
 	msgUpdate   = "update"
 	msgBye      = "bye"
+	// msgInventory is the peer-replication frame (DESIGN.md §13): a whole
+	// live-host inventory pushed by a gateway (or another collector) so
+	// every replica's collector sees hosts that registered elsewhere in the
+	// topology. Inventory frames need no prior registration — the sender is
+	// a peer, not an agent — and never take ownership of a hostname.
+	msgInventory = "inventory"
 )
 
 type wireMessage struct {
@@ -29,6 +35,26 @@ type wireMessage struct {
 	GPUUtil        float64    `json:"gpu_util"`
 	DiskLoad       float64    `json:"disk_load"`
 	AvailableCores int        `json:"available_cores"`
+	// Servers carries the replicated inventory of an msgInventory frame
+	// (empty for every other type). Hostname then names the *source* of the
+	// push (e.g. the gateway), not a server.
+	Servers []WireServer `json:"servers,omitempty"`
+}
+
+// WireServer is one replicated inventory entry: a live host's spec and
+// utilization plus the age of its last first-hand observation. Ages (not
+// absolute timestamps) cross the wire so receivers with skewed clocks
+// still expire replicated entries exactly TTL after the origin last heard
+// from the agent.
+type WireServer struct {
+	Hostname       string     `json:"hostname"`
+	Spec           ServerSpec `json:"spec"`
+	CPUUtil        float64    `json:"cpu_util"`
+	GPUUtil        float64    `json:"gpu_util"`
+	DiskLoad       float64    `json:"disk_load"`
+	AvailableCores int        `json:"available_cores"`
+	// AgeMS is how long ago the origin collector last saw this host.
+	AgeMS int64 `json:"age_ms"`
 }
 
 // ServerInfo is one registered server as seen by the collector.
@@ -235,6 +261,11 @@ func (c *Collector) handle(conn net.Conn) {
 		case msgBye:
 			c.removeOwned(conn, owned)
 			return
+		case msgInventory:
+			// Peer replication: merge without registration and without
+			// taking ownership, then keep reading — a gateway peer link may
+			// stream one frame per replication round.
+			c.applyInventory(m)
 		}
 	}
 }
@@ -302,6 +333,66 @@ func (c *Collector) removeOwned(conn net.Conn, hostname string) {
 		delete(c.servers, hostname)
 		c.syncLiveLocked()
 	}
+}
+
+// applyInventory merges a replicated inventory frame (DESIGN.md §13) into
+// the local table. First-hand knowledge wins twice over: a hostname owned
+// by a live local connection is never overwritten by a replica's view, and
+// an existing entry is only refreshed when the replicated observation is
+// strictly fresher. Replicated entries never create owners, so they expire
+// by TTL unless the origin keeps hearing from the agent and the pushes keep
+// coming.
+func (c *Collector) applyInventory(m wireMessage) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	for _, s := range m.Servers {
+		if _, ownedHere := c.owners[s.Hostname]; ownedHere {
+			continue
+		}
+		seen := now.Add(-time.Duration(s.AgeMS) * time.Millisecond)
+		if info, ok := c.servers[s.Hostname]; ok && !info.LastSeen.Before(seen) {
+			continue
+		}
+		c.servers[s.Hostname] = &ServerInfo{
+			Hostname: s.Hostname,
+			Server: Server{
+				Spec:           s.Spec,
+				CPUUtil:        s.CPUUtil,
+				GPUUtil:        s.GPUUtil,
+				DiskLoad:       s.DiskLoad,
+				AvailableCores: s.AvailableCores,
+			},
+			LastSeen: seen,
+		}
+	}
+}
+
+// InventoryEntries renders the live inventory as replication frame entries,
+// ages computed against the collector's clock. The result is Snapshot-order
+// (sorted by hostname), so identical inventories produce identical frames.
+func (c *Collector) InventoryEntries() []WireServer {
+	snap := c.Snapshot()
+	c.mu.Lock()
+	now := c.now()
+	c.mu.Unlock()
+	out := make([]WireServer, len(snap))
+	for i, s := range snap {
+		age := now.Sub(s.LastSeen)
+		if age < 0 {
+			age = 0
+		}
+		out[i] = WireServer{
+			Hostname:       s.Hostname,
+			Spec:           s.Server.Spec,
+			CPUUtil:        s.Server.CPUUtil,
+			GPUUtil:        s.Server.GPUUtil,
+			DiskLoad:       s.Server.DiskLoad,
+			AvailableCores: s.Server.AvailableCores,
+			AgeMS:          int64(age / time.Millisecond),
+		}
+	}
+	return out
 }
 
 // Snapshot returns the live inventory sorted by hostname, excluding entries

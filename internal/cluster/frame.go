@@ -55,6 +55,21 @@ func decodeFrame(line []byte, maxBytes int) (wireMessage, error) {
 		if m.Hostname == "" {
 			return wireMessage{}, fmt.Errorf("cluster: %s frame missing hostname", m.Type)
 		}
+	case msgInventory:
+		if m.Hostname == "" {
+			return wireMessage{}, fmt.Errorf("cluster: inventory frame missing source hostname")
+		}
+		for i, s := range m.Servers {
+			if s.Hostname == "" {
+				return wireMessage{}, fmt.Errorf("cluster: inventory entry %d missing hostname", i)
+			}
+			if err := s.Spec.Validate(); err != nil {
+				return wireMessage{}, fmt.Errorf("cluster: inventory entry %q spec: %w", s.Hostname, err)
+			}
+			if s.AgeMS < 0 {
+				return wireMessage{}, fmt.Errorf("cluster: inventory entry %q has negative age", s.Hostname)
+			}
+		}
 	default:
 		return wireMessage{}, fmt.Errorf("cluster: unknown frame type %q", m.Type)
 	}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// PushOptions tunes one inventory push to a peer collector.
+type PushOptions struct {
+	// DialTimeout bounds the connection attempt. Defaults to 5 s.
+	DialTimeout time.Duration
+	// WriteTimeout bounds writing the frame. Defaults to 5 s.
+	WriteTimeout time.Duration
+	// Dial overrides the transport, e.g. to wrap the connection in a
+	// fault-injecting FaultConn. Defaults to TCP via net.DialTimeout.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+func (o PushOptions) withDefaults() PushOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 5 * time.Second
+	}
+	if o.Dial == nil {
+		o.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return o
+}
+
+// SendInventory pushes one replicated-inventory frame to a peer collector
+// at addr: dial, write the msgInventory frame through the shared wire
+// codec, close. source names the pusher (a gateway instance) for the
+// frame's provenance field; entries usually come from InventoryEntries on
+// the origin side, merged across replicas by the gateway.
+//
+// The push is deliberately fire-and-forget per round: a failed push is
+// reported to the caller (which counts it and retries next round with its
+// own backoff) rather than retried inline, so one dead peer cannot stall a
+// replication round for the live ones.
+func SendInventory(addr, source string, entries []WireServer, opts PushOptions) error {
+	if source == "" {
+		return fmt.Errorf("cluster: inventory push requires a source name")
+	}
+	opts = opts.withDefaults()
+	frame, err := encodeFrame(wireMessage{Type: msgInventory, Hostname: source, Servers: entries})
+	if err != nil {
+		return fmt.Errorf("cluster: inventory push: %w", err)
+	}
+	conn, err := opts.Dial(addr, opts.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("cluster: inventory push dial: %w", err)
+	}
+	if err := conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout)); err != nil {
+		err = fmt.Errorf("cluster: inventory push deadline: %w", err)
+		if cerr := conn.Close(); cerr != nil {
+			err = errors.Join(err, fmt.Errorf("cluster: inventory push close: %w", cerr))
+		}
+		return err
+	}
+	if _, err := conn.Write(frame); err != nil {
+		err = fmt.Errorf("cluster: inventory push write: %w", err)
+		if cerr := conn.Close(); cerr != nil {
+			err = errors.Join(err, fmt.Errorf("cluster: inventory push close: %w", cerr))
+		}
+		return err
+	}
+	if err := conn.Close(); err != nil {
+		return fmt.Errorf("cluster: inventory push close: %w", err)
+	}
+	return nil
+}

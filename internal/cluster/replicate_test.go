@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBackoffSeededReplay: equal seeds replay identical delay schedules;
+// delays respect the exponential envelope.
+func TestBackoffSeededReplay(t *testing.T) {
+	a := NewBackoff(7, 10*time.Millisecond, 160*time.Millisecond)
+	b := NewBackoff(7, 10*time.Millisecond, 160*time.Millisecond)
+	for attempt := 0; attempt < 8; attempt++ {
+		da, db := a.Delay(attempt), b.Delay(attempt)
+		if da != db {
+			t.Fatalf("attempt %d: seeds diverged: %v vs %v", attempt, da, db)
+		}
+		cap := 10 * time.Millisecond << uint(attempt)
+		if cap > 160*time.Millisecond {
+			cap = 160 * time.Millisecond
+		}
+		if da < cap/2 || da >= cap {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, da, cap/2, cap)
+		}
+	}
+	c := NewBackoff(8, 10*time.Millisecond, 160*time.Millisecond)
+	diverged := false
+	for attempt := 0; attempt < 8; attempt++ {
+		if NewBackoff(7, 10*time.Millisecond, 160*time.Millisecond).Delay(attempt) != c.Delay(attempt) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestInventoryFrameRoundTrip: inventory frames survive the wire codec and
+// reject invalid entries.
+func TestInventoryFrameRoundTrip(t *testing.T) {
+	entries := []WireServer{
+		{Hostname: "gpu-01", Spec: SpecGPUP100(), CPUUtil: 0.25, GPUUtil: 0.5, AgeMS: 120},
+		{Hostname: "gpu-02", Spec: SpecGPUP100(), AvailableCores: 4},
+	}
+	frame, err := encodeFrame(wireMessage{Type: msgInventory, Hostname: "gw-1", Servers: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := decodeFrame(frame, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != msgInventory || m.Hostname != "gw-1" || len(m.Servers) != 2 {
+		t.Fatalf("decoded frame = %+v", m)
+	}
+	if m.Servers[0].Hostname != "gpu-01" || m.Servers[0].AgeMS != 120 {
+		t.Fatalf("entry 0 = %+v", m.Servers[0])
+	}
+
+	bad := []struct {
+		name string
+		m    wireMessage
+		want string
+	}{
+		{"missing source", wireMessage{Type: msgInventory, Servers: entries}, "missing source"},
+		{"entry missing hostname", wireMessage{Type: msgInventory, Hostname: "gw",
+			Servers: []WireServer{{Spec: SpecGPUP100()}}}, "missing hostname"},
+		{"entry bad spec", wireMessage{Type: msgInventory, Hostname: "gw",
+			Servers: []WireServer{{Hostname: "h"}}}, "spec"},
+		{"negative age", wireMessage{Type: msgInventory, Hostname: "gw",
+			Servers: []WireServer{{Hostname: "h", Spec: SpecGPUP100(), AgeMS: -1}}}, "negative age"},
+	}
+	for _, tc := range bad {
+		frame, err := encodeFrame(tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := decodeFrame(frame, 1<<20); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestApplyInventoryMergeSemantics: replicated entries appear, locally
+// owned entries are never overwritten, and staler observations lose.
+func TestApplyInventoryMergeSemantics(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0", CollectorOptions{TTL: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	// gpu-01 is first-hand knowledge: a live agent owns it.
+	agent, err := DialAgent(col.Addr(), "gpu-01", SpecGPUP100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	waitFor(t, "agent registered", func() bool { return len(col.Snapshot()) == 1 })
+	if err := agent.Report(0.9, 0.9, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "report applied", func() bool {
+		s := col.Snapshot()
+		return len(s) == 1 && s[0].Server.CPUUtil == 0.9
+	})
+
+	// A peer pushes a conflicting view of gpu-01 plus a new host gpu-02.
+	col.applyInventory(wireMessage{Type: msgInventory, Hostname: "gw", Servers: []WireServer{
+		{Hostname: "gpu-01", Spec: SpecGPUP100(), CPUUtil: 0.1, AgeMS: 0},
+		{Hostname: "gpu-02", Spec: SpecGPUP100(), CPUUtil: 0.4, AgeMS: 50},
+	}})
+	snap := col.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %d entries, want 2", len(snap))
+	}
+	if snap[0].Hostname != "gpu-01" || snap[0].Server.CPUUtil != 0.9 {
+		t.Fatalf("owned entry overwritten by replica: %+v", snap[0])
+	}
+	if snap[1].Hostname != "gpu-02" || snap[1].Server.CPUUtil != 0.4 {
+		t.Fatalf("replicated entry = %+v", snap[1])
+	}
+
+	// A staler replicated view of gpu-02 must not regress the entry.
+	col.applyInventory(wireMessage{Type: msgInventory, Hostname: "gw", Servers: []WireServer{
+		{Hostname: "gpu-02", Spec: SpecGPUP100(), CPUUtil: 0.7, AgeMS: 900},
+	}})
+	snap = col.Snapshot()
+	if snap[1].Server.CPUUtil != 0.4 {
+		t.Fatalf("staler replica view won: %+v", snap[1])
+	}
+
+	// Replicated entries expire by TTL: an entry pushed almost-expired is
+	// already outside the snapshot cutoff once its age passes the TTL.
+	col.applyInventory(wireMessage{Type: msgInventory, Hostname: "gw", Servers: []WireServer{
+		{Hostname: "gpu-03", Spec: SpecGPUP100(), AgeMS: 1100},
+	}})
+	for _, s := range col.Snapshot() {
+		if s.Hostname == "gpu-03" {
+			t.Fatalf("expired replicated entry visible: %+v", s)
+		}
+	}
+}
+
+// TestSendInventoryOverWire: a pushed frame lands in the peer collector's
+// snapshot without any registration, and InventoryEntries round-trips it.
+func TestSendInventoryOverWire(t *testing.T) {
+	origin, err := NewCollector("127.0.0.1:0", CollectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer origin.Close()
+	agent, err := DialAgent(origin.Addr(), "node-a", SpecGPUP100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	waitFor(t, "origin agent registered", func() bool { return len(origin.Snapshot()) == 1 })
+
+	peer, err := NewCollector("127.0.0.1:0", CollectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+
+	if err := SendInventory(peer.Addr(), "gw-test", origin.InventoryEntries(), PushOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "pushed entry visible", func() bool {
+		s := peer.Snapshot()
+		return len(s) == 1 && s[0].Hostname == "node-a"
+	})
+}
+
+// TestSendInventoryFaultConn: a partitioned peer link (FaultConn killing
+// the connection before the frame lands) surfaces as a push error instead
+// of hanging or panicking.
+func TestSendInventoryFaultConn(t *testing.T) {
+	peer, err := NewCollector("127.0.0.1:0", CollectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+
+	dial := func(addr string, timeout time.Duration) (net.Conn, error) {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return NewFaultConn(conn, FaultOptions{FailAfter: 0, TruncateAt: 0, DropEveryN: 0, Delay: 0,
+			Sleep: func(time.Duration) {}}), nil
+	}
+	// A healthy FaultConn pass-through still delivers.
+	if err := SendInventory(peer.Addr(), "gw", []WireServer{
+		{Hostname: "h1", Spec: SpecGPUP100()},
+	}, PushOptions{Dial: dial}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "pass-through push visible", func() bool { return len(peer.Snapshot()) == 1 })
+
+	// Now a link that dies on the first write: the push must error.
+	dead := func(addr string, timeout time.Duration) (net.Conn, error) {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		fc := NewFaultConn(conn, FaultOptions{FailAfter: 1})
+		// Burn the one allowed write so the frame write is the failure.
+		if _, err := fc.Write([]byte("\n")); err != nil {
+			t.Fatal(err)
+		}
+		return fc, nil
+	}
+	err = SendInventory(peer.Addr(), "gw", []WireServer{
+		{Hostname: "h2", Spec: SpecGPUP100()},
+	}, PushOptions{Dial: dead})
+	if err == nil || !strings.Contains(err.Error(), "inventory push") {
+		t.Fatalf("push over dead link: err = %v", err)
+	}
+}

@@ -52,9 +52,11 @@ type Controller struct {
 	// happen after the server is already live.
 	collector *cluster.Collector //ddlvet:guardedby mu
 
-	// Admission limits, guarded by mu (see SetLimits).
-	maxBodyBytes  int64 //ddlvet:guardedby mu
-	maxBatchItems int   //ddlvet:guardedby mu
+	// Admission limits, guarded by mu (see SetLimits). shedder, when set
+	// via SetMaxInflight, caps concurrent prediction requests (shed.go).
+	maxBodyBytes  int64            //ddlvet:guardedby mu
+	maxBatchItems int              //ddlvet:guardedby mu
+	shedder       *InflightLimiter //ddlvet:guardedby mu
 
 	// metrics is the observability registry (never nil; see metrics.go),
 	// traceLog optionally receives server-side trace lines; both guarded by
@@ -242,11 +244,12 @@ func (c *Controller) checkRequest(req PredictRequest) (*InferenceEngine, *graph.
 // scraping them does not perturb the request counters they report.
 func (c *Controller) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/predict", c.instrument("predict", c.handlePredict))
-	mux.HandleFunc("/v1/predict/batch", c.instrument("batch", c.handleBatch))
-	mux.HandleFunc("/v1/batch", c.instrument("batch", c.handleBatch)) // legacy alias
+	mux.HandleFunc("/v1/predict", c.instrument("predict", c.shed("predict", c.handlePredict)))
+	mux.HandleFunc("/v1/predict/batch", c.instrument("batch", c.shed("batch", c.handleBatch)))
+	mux.HandleFunc("/v1/batch", c.instrument("batch", c.shed("batch", c.handleBatch))) // legacy alias
 	mux.HandleFunc("/v1/status", c.instrument("status", c.handleStatus))
 	mux.HandleFunc("/v1/models", c.instrument("models", c.handleModels))
+	mux.HandleFunc("/v1/inventory", c.instrument("inventory", c.handleInventory))
 	mux.HandleFunc("/v1/metrics", c.handleMetrics)
 	mux.HandleFunc("/debug/vars", c.handleVars)
 	return mux
@@ -407,11 +410,14 @@ func (c *Controller) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// StatusResponse reports controller state.
+// StatusResponse reports controller state. LiveHosts names the live
+// inventory (sorted) so a gateway can union host sets across replicas
+// instead of guessing from the count alone.
 type StatusResponse struct {
 	Datasets    []string `json:"datasets"`
 	GHNDatasets []string `json:"ghn_datasets"`
 	LiveServers int      `json:"live_servers"`
+	LiveHosts   []string `json:"live_hosts,omitempty"`
 }
 
 func (c *Controller) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -431,7 +437,35 @@ func (c *Controller) handleStatus(w http.ResponseWriter, r *http.Request) {
 		resp.GHNDatasets = c.registry.Datasets()
 	}
 	if col := c.Collector(); col != nil {
-		resp.LiveServers = len(col.Snapshot())
+		snap := col.Snapshot() // already sorted by hostname
+		resp.LiveServers = len(snap)
+		resp.LiveHosts = make([]string, len(snap))
+		for i, s := range snap {
+			resp.LiveHosts[i] = s.Hostname
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// InventoryResponse is the GET /v1/inventory reply: the controller's live
+// inventory rendered as replication entries (ages, not timestamps), ready
+// to be merged into a peer collector or pushed via cluster.SendInventory.
+type InventoryResponse struct {
+	Servers []cluster.WireServer `json:"servers"`
+}
+
+// handleInventory serves the live inventory in wire form so a gateway can
+// replicate it across the topology (DESIGN.md §13). Without a collector
+// the inventory is empty, not an error: a controller serving explicit
+// num_servers requests simply has nothing to replicate.
+func (c *Controller) handleInventory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	resp := InventoryResponse{Servers: []cluster.WireServer{}}
+	if col := c.Collector(); col != nil {
+		resp.Servers = col.InventoryEntries()
 	}
 	writeJSON(w, resp)
 }

@@ -1,0 +1,203 @@
+package gateway
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"predictddl/internal/cluster"
+)
+
+// health tracks per-replica liveness. Replicas start optimistic (up), so a
+// gateway serves the instant it is constructed; the first failed probe or
+// forwarded request corrects the view. Probes reuse the cluster package's
+// seeded Backoff, so a downed replica is re-probed on the same jittered
+// exponential schedule an agent uses to re-dial its collector — equal
+// seeds replay identical probe schedules.
+type health struct {
+	client  *http.Client
+	timeout time.Duration
+	backoff *cluster.Backoff
+	now     func() time.Time
+
+	mu    sync.RWMutex
+	state map[string]*replicaHealth //ddlvet:guardedby mu
+	order []string                  // sorted replica URLs, immutable after construction
+}
+
+// replicaHealth is one replica's liveness record.
+type replicaHealth struct {
+	up      bool
+	fails   int       // consecutive probe/forward failures
+	lastErr string    // most recent failure, for /v1/status
+	retryAt time.Time // while down: next probe per the backoff schedule
+}
+
+func newHealth(replicas []string, client *http.Client, timeout time.Duration, backoff *cluster.Backoff, now func() time.Time) *health {
+	h := &health{
+		client:  client,
+		timeout: timeout,
+		backoff: backoff,
+		now:     now,
+		state:   make(map[string]*replicaHealth, len(replicas)),
+	}
+	for _, r := range replicas {
+		h.state[r] = &replicaHealth{up: true}
+		h.order = append(h.order, r)
+	}
+	return h
+}
+
+// isUp reports whether a replica is currently considered live.
+func (h *health) isUp(replica string) bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	s, ok := h.state[replica]
+	return ok && s.up
+}
+
+// upSet returns the live replicas, in h.order order.
+func (h *health) upSet() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]string, 0, len(h.order))
+	for _, r := range h.order {
+		if h.state[r].up {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// markDown records a failure observed outside a probe (a forwarded request
+// hit a transport error), reporting whether this was an up→down
+// transition. The next probe is scheduled on the backoff curve.
+func (h *health) markDown(replica string, cause error) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.state[replica]
+	if !ok {
+		return false
+	}
+	wasUp := s.up
+	s.up = false
+	if cause != nil {
+		s.lastErr = cause.Error()
+	}
+	s.retryAt = h.now().Add(h.backoff.Delay(s.fails))
+	s.fails++
+	return wasUp
+}
+
+// checkNow runs one synchronous probe round over every replica —
+// regardless of backoff scheduling, so tests and operators get a fresh
+// view on demand — and returns the number of up/down transitions.
+func (h *health) checkNow(ctx context.Context) int {
+	return h.probe(ctx, true)
+}
+
+// tick runs one scheduled probe round: up replicas are always probed,
+// down ones only once their backoff delay has elapsed.
+func (h *health) tick(ctx context.Context) int {
+	return h.probe(ctx, false)
+}
+
+func (h *health) probe(ctx context.Context, force bool) int {
+	now := h.now()
+	h.mu.RLock()
+	targets := make([]string, 0, len(h.order))
+	for _, r := range h.order {
+		s := h.state[r]
+		if !force && !s.up && now.Before(s.retryAt) {
+			continue
+		}
+		targets = append(targets, r)
+	}
+	h.mu.RUnlock()
+
+	results := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, r := range targets {
+		wg.Add(1)
+		go func(i int, replica string) {
+			defer wg.Done()
+			results[i] = h.probeOne(ctx, replica)
+		}(i, r)
+	}
+	wg.Wait()
+
+	transitions := 0
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, r := range targets {
+		s := h.state[r]
+		if results[i] == nil {
+			if !s.up {
+				transitions++
+			}
+			s.up, s.fails, s.lastErr = true, 0, ""
+			continue
+		}
+		if s.up {
+			transitions++
+		}
+		s.up = false
+		s.lastErr = results[i].Error()
+		s.retryAt = h.now().Add(h.backoff.Delay(s.fails))
+		s.fails++
+	}
+	return transitions
+}
+
+// probeOne performs one health probe: GET /v1/status must answer 200
+// within the probe timeout. Any transport error or non-200 marks the
+// replica down — a replica that answers 500s is as unusable as one that
+// refuses connections.
+func (h *health) probeOne(ctx context.Context, replica string) error {
+	ctx, cancel := context.WithTimeout(ctx, h.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, replica+"/v1/status", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &probeStatusError{replica: replica, code: resp.StatusCode}
+	}
+	return nil
+}
+
+// probeStatusError reports a probe that connected but got a non-200.
+type probeStatusError struct {
+	replica string
+	code    int
+}
+
+func (e *probeStatusError) Error() string {
+	return "gateway: probe of " + e.replica + " answered status " + http.StatusText(e.code)
+}
+
+// snapshotHealth is one replica's state as reported by /v1/status.
+type snapshotHealth struct {
+	Replica string
+	Up      bool
+	Fails   int
+	LastErr string
+}
+
+// snapshot returns the health table in h.order order.
+func (h *health) snapshot() []snapshotHealth {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]snapshotHealth, 0, len(h.order))
+	for _, r := range h.order {
+		s := h.state[r]
+		out = append(out, snapshotHealth{Replica: r, Up: s.up, Fails: s.fails, LastErr: s.lastErr})
+	}
+	return out
+}

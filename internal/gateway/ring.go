@@ -1,0 +1,207 @@
+// Package gateway is the sharded serving front door (DESIGN.md §13): an
+// HTTP listener that routes prediction traffic across N controller
+// replicas with a seeded consistent-hash ring, health-checks the replicas,
+// fails datasets over to their ring successor when the owner goes dark,
+// sheds per-shard overload with 503 + Retry-After, and replicates the
+// live-host inventory across the topology so every replica's collector
+// sees the whole cluster.
+package gateway
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultVNodes is the virtual-node count per member. 64 points per member
+// keeps the max/min key-share spread under ~2x for small member counts
+// while the ring stays tiny (a 3-replica ring is 192 points).
+const DefaultVNodes = 64
+
+// Ring is a seeded consistent-hash ring with virtual nodes. Placement is a
+// pure function of (seed, member set, vnodes): two gateways constructed
+// with equal seeds and members route identically, and removing one member
+// remaps only the keys that member owned. Safe for concurrent use.
+type Ring struct {
+	seed   int64
+	vnodes int
+
+	mu      sync.RWMutex
+	members []string    //ddlvet:guardedby mu — sorted member names
+	points  []ringPoint //ddlvet:guardedby mu — sorted by hash
+}
+
+// ringPoint is one virtual node: a position on the hash circle owned by a
+// member.
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds a ring over the given members. vnodes <= 0 uses
+// DefaultVNodes.
+func NewRing(seed int64, vnodes int, members ...string) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{seed: seed, vnodes: vnodes}
+	r.SetMembers(members)
+	return r
+}
+
+// hashPoint positions one virtual node. The seed prefixes the hashed bytes
+// so distinct seeds generate distinct (yet individually deterministic)
+// rings from the same member set.
+func (r *Ring) hashPoint(member string, vnode int) uint64 {
+	h := fnv.New64a()
+	_, _ = fmt.Fprintf(h, "%d|%s|%d", r.seed, member, vnode)
+	return mix64(h.Sum64())
+}
+
+// hashKey positions a routing key (a dataset name) on the circle.
+func (r *Ring) hashKey(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = fmt.Fprintf(h, "%d|%s", r.seed, key)
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. Raw FNV-64a diffuses trailing bytes
+// poorly — the last byte only contributes (byte ^ h) * prime, so keys
+// differing in a final counter ("run-001", "run-002", …) land clustered on
+// the circle and can starve a member entirely. The avalanche pass spreads
+// them uniformly while keeping placement a pure function of the input.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// SetMembers replaces the member set, reporting whether it changed. The
+// input is copied and deduplicated; order does not matter (the ring sorts
+// internally, so permutations of the same set build identical rings).
+func (r *Ring) SetMembers(members []string) bool {
+	uniq := make(map[string]struct{}, len(members))
+	for _, m := range members {
+		if m != "" {
+			uniq[m] = struct{}{}
+		}
+	}
+	sorted := make([]string, 0, len(uniq))
+	for m := range uniq {
+		sorted = append(sorted, m)
+	}
+	sort.Strings(sorted)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if equalStrings(r.members, sorted) {
+		return false
+	}
+	r.members = sorted
+	r.points = make([]ringPoint, 0, len(sorted)*r.vnodes)
+	for _, m := range sorted {
+		for v := 0; v < r.vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: r.hashPoint(m, v), member: m})
+		}
+	}
+	pts := r.points
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].hash != pts[j].hash {
+			return pts[i].hash < pts[j].hash
+		}
+		// Hash ties (vanishingly rare with 64-bit hashes) break by member
+		// name so placement stays deterministic even then.
+		return pts[i].member < pts[j].member
+	})
+	return true
+}
+
+// Members returns the current member set, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Owner returns the member owning key: the first virtual node at or after
+// the key's position, wrapping around. ok is false on an empty ring.
+func (r *Ring) Owner(key string) (member string, ok bool) {
+	s := r.Successors(key, 1)
+	if len(s) == 0 {
+		return "", false
+	}
+	return s[0], true
+}
+
+// Successors returns up to n distinct members in ring order starting at
+// the key's owner — the failover chain: index 0 is the owner, index 1 the
+// replica that inherits the key if the owner goes dark, and so on.
+func (r *Ring) Successors(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	kh := r.hashKey(key)
+	pts := r.points
+	start := sort.Search(len(pts), func(i int) bool { return pts[i].hash >= kh })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(pts) && len(out) < n; i++ {
+		p := pts[(start+i)%len(pts)]
+		if _, dup := seen[p.member]; dup {
+			continue
+		}
+		seen[p.member] = struct{}{}
+		out = append(out, p.member)
+	}
+	return out
+}
+
+// Assignments maps each key to its owner — the topology view /v1/status
+// reports. Keys with no owner (empty ring) are omitted.
+func (r *Ring) Assignments(keys []string) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		if owner, ok := r.Owner(k); ok {
+			out[k] = owner
+		}
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// shardLabels names members s0..sN-1 in sorted order — the stable metric
+// label contract (gateway.shard.<label>.*): the same replica set always
+// yields the same labels regardless of configuration order.
+func shardLabels(members []string) map[string]string {
+	sorted := make([]string, len(members))
+	copy(sorted, members)
+	sort.Strings(sorted)
+	out := make(map[string]string, len(sorted))
+	for i, m := range sorted {
+		out[m] = "s" + strconv.Itoa(i)
+	}
+	return out
+}

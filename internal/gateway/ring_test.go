@@ -1,0 +1,131 @@
+package gateway_test
+
+import (
+	"fmt"
+	"testing"
+
+	"predictddl/internal/gateway"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("dataset-%03d", i)
+	}
+	return keys
+}
+
+// TestRingDeterministicPlacement: equal seeds and member sets (any order)
+// produce identical placement; a different seed produces a different one.
+func TestRingDeterministicPlacement(t *testing.T) {
+	keys := ringKeys(256)
+	a := gateway.NewRing(7, 0, "http://r1", "http://r2", "http://r3")
+	b := gateway.NewRing(7, 0, "http://r3", "http://r1", "http://r2") // permuted
+	for _, k := range keys {
+		oa, okA := a.Owner(k)
+		ob, okB := b.Owner(k)
+		if !okA || !okB || oa != ob {
+			t.Fatalf("key %q: placement diverged across identical rings: %q vs %q", k, oa, ob)
+		}
+	}
+	c := gateway.NewRing(8, 0, "http://r1", "http://r2", "http://r3")
+	diverged := 0
+	for _, k := range keys {
+		oc, _ := c.Owner(k)
+		oa, _ := a.Owner(k)
+		if oc != oa {
+			diverged++
+		}
+	}
+	if diverged == 0 {
+		t.Fatal("different seeds produced identical placement for all 256 keys")
+	}
+}
+
+// TestRingRemovalRemapsOnlyOwnedKeys: removing one member moves exactly
+// the keys it owned; every other key keeps its owner.
+func TestRingRemovalRemapsOnlyOwnedKeys(t *testing.T) {
+	keys := ringKeys(512)
+	r := gateway.NewRing(1, 0, "http://r1", "http://r2", "http://r3")
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		owner, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("no owner for %q", k)
+		}
+		before[k] = owner
+	}
+	if !r.SetMembers([]string{"http://r1", "http://r3"}) {
+		t.Fatal("SetMembers reported no change after removing a member")
+	}
+	moved := 0
+	for _, k := range keys {
+		after, _ := r.Owner(k)
+		if before[k] == "http://r2" {
+			if after == "http://r2" {
+				t.Fatalf("key %q still assigned to removed member", k)
+			}
+			moved++
+			continue
+		}
+		if after != before[k] {
+			t.Fatalf("key %q moved from surviving member %q to %q", k, before[k], after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys out of 512 — spread is broken")
+	}
+
+	// Restoring the member restores the original placement exactly.
+	r.SetMembers([]string{"http://r2", "http://r3", "http://r1"})
+	for _, k := range keys {
+		after, _ := r.Owner(k)
+		if after != before[k] {
+			t.Fatalf("key %q: placement not restored: %q vs %q", k, after, before[k])
+		}
+	}
+}
+
+// TestRingSpreadAndSuccessors: every member owns a reasonable key share,
+// and the successor chain is the distinct-member failover order.
+func TestRingSpreadAndSuccessors(t *testing.T) {
+	members := []string{"http://r1", "http://r2", "http://r3"}
+	r := gateway.NewRing(1, 0, members...)
+	keys := ringKeys(1200)
+	counts := make(map[string]int)
+	for _, k := range keys {
+		owner, _ := r.Owner(k)
+		counts[owner]++
+	}
+	for _, m := range members {
+		if counts[m] < len(keys)/10 {
+			t.Fatalf("member %q owns %d of %d keys — below the 10%% spread floor (%v)", m, counts[m], len(keys), counts)
+		}
+	}
+
+	for _, k := range keys[:32] {
+		chain := r.Successors(k, 5)
+		if len(chain) != len(members) {
+			t.Fatalf("key %q: successor chain %v, want all %d members", k, chain, len(members))
+		}
+		owner, _ := r.Owner(k)
+		if chain[0] != owner {
+			t.Fatalf("key %q: chain head %q != owner %q", k, chain[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, m := range chain {
+			if seen[m] {
+				t.Fatalf("key %q: duplicate member %q in chain %v", k, m, chain)
+			}
+			seen[m] = true
+		}
+	}
+
+	if got := r.Successors("anything", 0); got != nil {
+		t.Fatalf("Successors(n=0) = %v, want nil", got)
+	}
+	empty := gateway.NewRing(1, 0)
+	if _, ok := empty.Owner("k"); ok {
+		t.Fatal("empty ring reported an owner")
+	}
+}

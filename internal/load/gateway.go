@@ -1,0 +1,209 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"predictddl/internal/core"
+	"predictddl/internal/gateway"
+	"predictddl/internal/obs"
+)
+
+// gatewayCandidateDatasets is the pool of synthetic dataset names a
+// topology serves in addition to the caller's own: enough names that every
+// shard of a small ring owns at least one with overwhelming probability.
+const gatewayCandidateDatasets = 32
+
+// GatewayTopology is an in-process multi-replica serving topology: N
+// synthetic controllers behind real loopback servers, fronted by a
+// consistent-hash gateway — the `ddlload -self -gateway` target, and the
+// fixture the gateway loadbench drives.
+type GatewayTopology struct {
+	// Gateway is the front door (health view, ring, metrics registry).
+	Gateway *gateway.Gateway
+	// URL is the gateway's base URL — point the Runner here.
+	URL string
+	// ReplicaURLs are the controller base URLs behind the ring.
+	ReplicaURLs []string
+	// ShardDatasets holds one dataset per replica, ShardDatasets[i] owned
+	// by ReplicaURLs[i]'s shard — feed these to
+	// ScheduleConfig.GatewayDatasets so the gateway scenario provably spans
+	// every shard.
+	ShardDatasets []string
+
+	stops []func() error
+}
+
+// StartGatewayTopology stands up `replicas` synthetic controllers (each
+// serving the extra datasets plus a pool of generated names), a gateway
+// sharding them with the given seed, and a front server for the gateway
+// mux. The first health round has already run when it returns, so the
+// topology is immediately routable. Stop tears everything down.
+func StartGatewayTopology(ctx context.Context, seed int64, replicas int, extraDatasets ...string) (*GatewayTopology, error) {
+	if replicas < 2 {
+		return nil, fmt.Errorf("load: gateway topology needs >= 2 replicas, got %d", replicas)
+	}
+	datasets := make([]string, 0, gatewayCandidateDatasets+len(extraDatasets))
+	datasets = append(datasets, extraDatasets...)
+	for i := 0; i < gatewayCandidateDatasets; i++ {
+		datasets = append(datasets, fmt.Sprintf("shardset-%02d", i))
+	}
+
+	topo := &GatewayTopology{}
+	fail := func(err error) (*GatewayTopology, error) {
+		_ = topo.Stop()
+		return nil, err
+	}
+	for i := 0; i < replicas; i++ {
+		ctrl, err := NewSyntheticController(seed+int64(i), datasets...)
+		if err != nil {
+			return fail(err)
+		}
+		srv, err := core.NewServer("127.0.0.1:0", ctrl.Handler(), core.ServerOptions{})
+		if err != nil {
+			return fail(err)
+		}
+		serveCtx, cancel := context.WithCancel(ctx)
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(serveCtx) }()
+		topo.stops = append(topo.stops, func() error {
+			cancel()
+			return <-done
+		})
+		topo.ReplicaURLs = append(topo.ReplicaURLs, "http://"+srv.Addr())
+	}
+
+	gw, err := gateway.New(gateway.Options{Replicas: topo.ReplicaURLs, Seed: seed})
+	if err != nil {
+		return fail(err)
+	}
+	gw.CheckNow(ctx)
+	topo.Gateway = gw
+
+	// One provably-owned dataset per shard, from the generated pool (the
+	// caller's extra datasets land wherever the ring puts them).
+	pool := datasets[len(extraDatasets):]
+	for _, replica := range topo.ReplicaURLs {
+		owned := ""
+		for _, d := range pool {
+			if owner, ok := gw.Ring().Owner(d); ok && owner == replica {
+				owned = d
+				break
+			}
+		}
+		if owned == "" {
+			return fail(fmt.Errorf("load: no generated dataset maps to shard %s out of %d candidates", replica, len(pool)))
+		}
+		topo.ShardDatasets = append(topo.ShardDatasets, owned)
+	}
+
+	front, err := core.NewServer("127.0.0.1:0", gw.Handler(), core.ServerOptions{})
+	if err != nil {
+		return fail(err)
+	}
+	frontCtx, cancel := context.WithCancel(ctx)
+	frontDone := make(chan error, 1)
+	go func() { frontDone <- front.Serve(frontCtx) }()
+	topo.stops = append(topo.stops, func() error {
+		cancel()
+		return <-frontDone
+	})
+	topo.URL = "http://" + front.Addr()
+	return topo, nil
+}
+
+// Stop shuts the front server and every replica down, joining any serve
+// errors. Safe on a partially constructed topology.
+func (t *GatewayTopology) Stop() error {
+	var errs []error
+	// Front door first (it was appended last), so in-flight forwards drain
+	// before their upstream replicas disappear.
+	for i := len(t.stops) - 1; i >= 0; i-- {
+		if err := t.stops[i](); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	t.stops = nil
+	return errors.Join(errs...)
+}
+
+// GatewayReport is the per-shard section of BENCH_serve.json for gateway
+// runs: the gateway's own counters after the run, so the artifact records
+// how traffic spread over the ring and what the fan-out path cost.
+type GatewayReport struct {
+	Shards []ShardStats `json:"shards"`
+	// Rebalances counts health transitions (up<->down) over the run — a
+	// static healthy topology reports 0.
+	Rebalances uint64 `json:"rebalances"`
+	// ShedTotal counts requests refused by per-shard inflight caps.
+	ShedTotal uint64 `json:"shed_total"`
+	// Fan-out latency of /v1/predict/batch scatter/gather, server-side.
+	FanoutCount      uint64  `json:"fanout_count"`
+	FanoutP50Seconds float64 `json:"fanout_p50_seconds,omitempty"`
+	FanoutP99Seconds float64 `json:"fanout_p99_seconds,omitempty"`
+}
+
+// ShardStats is one shard's counters.
+type ShardStats struct {
+	Shard    string `json:"shard"`
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	Shed     uint64 `json:"shed"`
+}
+
+// GatewayReportFromSnapshot extracts the per-shard section from a
+// /v1/metrics snapshot. Returns nil when the snapshot carries no gateway
+// counters (the target is a bare controller).
+func GatewayReportFromSnapshot(snap obs.Snapshot) *GatewayReport {
+	byShard := map[string]*ShardStats{}
+	for _, c := range snap.Counters {
+		rest, ok := strings.CutPrefix(c.Name, "gateway.shard.")
+		if !ok {
+			continue
+		}
+		shard, field, ok := strings.Cut(rest, ".")
+		if !ok {
+			continue
+		}
+		st := byShard[shard]
+		if st == nil {
+			st = &ShardStats{Shard: shard}
+			byShard[shard] = st
+		}
+		switch field {
+		case "requests":
+			st.Requests = c.Value
+		case "errors":
+			st.Errors = c.Value
+		case "shed":
+			st.Shed = c.Value
+		}
+	}
+	if len(byShard) == 0 {
+		return nil
+	}
+	rep := &GatewayReport{
+		Rebalances: snap.Counter("gateway.ring.rebalances"),
+		ShedTotal:  snap.Counter("gateway.shed.total"),
+	}
+	shards := make([]string, 0, len(byShard))
+	for s := range byShard {
+		shards = append(shards, s)
+	}
+	sort.Strings(shards) // stable artifact bytes
+	for _, s := range shards {
+		rep.Shards = append(rep.Shards, *byShard[s])
+	}
+	if hv, ok := snap.HistogramByName("gateway.fanout.latency.seconds"); ok {
+		rep.FanoutCount = hv.Count
+		if hv.Count > 0 {
+			rep.FanoutP50Seconds = hv.Quantile(0.5)
+			p99, _ := hv.QuantileSaturated(0.99)
+			rep.FanoutP99Seconds = p99
+		}
+	}
+	return rep
+}

@@ -1,0 +1,112 @@
+package load
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"predictddl/internal/obs"
+)
+
+// TestGatewayTopologyRoutesAcrossShards: the -self -gateway fixture comes
+// up routable, its shard datasets provably span every replica, and a short
+// closed-loop run with a gateway-weighted mix moves counters on >= 2
+// shards with zero contract violations.
+func TestGatewayTopologyRoutesAcrossShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-replica topology is too heavy for -short")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	topo, err := StartGatewayTopology(ctx, 1, 2, "cifar10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if serr := topo.Stop(); serr != nil {
+			t.Errorf("topology stop: %v", serr)
+		}
+	}()
+	if len(topo.ShardDatasets) != 2 || topo.ShardDatasets[0] == topo.ShardDatasets[1] {
+		t.Fatalf("shard datasets = %v, want one distinct dataset per replica", topo.ShardDatasets)
+	}
+	for i, d := range topo.ShardDatasets {
+		owner, ok := topo.Gateway.Ring().Owner(d)
+		if !ok || owner != topo.ReplicaURLs[i] {
+			t.Fatalf("dataset %s owner = %s, want replica %s", d, owner, topo.ReplicaURLs[i])
+		}
+	}
+
+	sched, err := BuildSchedule(ScheduleConfig{
+		Seed: 3, Mode: ModeClosed, Count: 60,
+		Mix:             Mix{{KindGateway, 80}, {KindZoo, 20}},
+		Dataset:         "cifar10",
+		GatewayDatasets: topo.ShardDatasets,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &Runner{BaseURL: topo.URL}
+	res, err := runner.RunClosed(ctx, sched, 4, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Samples {
+		if !s.Expected() {
+			t.Fatalf("contract violation through gateway: %+v", s)
+		}
+	}
+
+	snap := topo.Gateway.Metrics().Snapshot()
+	rep := GatewayReportFromSnapshot(snap)
+	if rep == nil {
+		t.Fatal("no gateway section extracted from the gateway's own snapshot")
+	}
+	active := 0
+	for _, sh := range rep.Shards {
+		if sh.Requests > 0 {
+			active++
+		}
+		if sh.Errors != 0 || sh.Shed != 0 {
+			t.Fatalf("healthy static run moved error/shed counters: %+v", sh)
+		}
+	}
+	if active < 2 {
+		t.Fatalf("traffic reached %d shards, want 2: %+v", active, rep.Shards)
+	}
+	if rep.Rebalances != 0 {
+		t.Fatalf("static topology recorded %d rebalances", rep.Rebalances)
+	}
+}
+
+// TestGatewayReportFromSnapshot: extraction is shard-sorted and ignores
+// non-gateway counters; a gateway-free snapshot yields nil.
+func TestGatewayReportFromSnapshot(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	reg.Counter("http.requests.predict.200").Add(7)
+	if rep := GatewayReportFromSnapshot(reg.Snapshot()); rep != nil {
+		t.Fatalf("gateway-free snapshot produced %+v", rep)
+	}
+	reg.Counter("gateway.shard.s1.requests").Add(3)
+	reg.Counter("gateway.shard.s0.requests").Add(5)
+	reg.Counter("gateway.shard.s0.shed").Add(2)
+	reg.Counter("gateway.shed.total").Add(2)
+	reg.Counter("gateway.ring.rebalances").Add(1)
+	reg.Histogram("gateway.fanout.latency.seconds", obs.LatencyBuckets()).Observe(0.01)
+	rep := GatewayReportFromSnapshot(reg.Snapshot())
+	if rep == nil {
+		t.Fatal("nil report from gateway snapshot")
+	}
+	if len(rep.Shards) != 2 || rep.Shards[0].Shard != "s0" || rep.Shards[1].Shard != "s1" {
+		t.Fatalf("shards = %+v, want sorted s0,s1", rep.Shards)
+	}
+	if rep.Shards[0].Requests != 5 || rep.Shards[0].Shed != 2 || rep.Shards[1].Requests != 3 {
+		t.Fatalf("shard counters wrong: %+v", rep.Shards)
+	}
+	if rep.ShedTotal != 2 || rep.Rebalances != 1 || rep.FanoutCount != 1 {
+		t.Fatalf("totals wrong: %+v", rep)
+	}
+	if rep.FanoutP99Seconds <= 0 {
+		t.Fatalf("fanout p99 = %v, want > 0", rep.FanoutP99Seconds)
+	}
+}

@@ -39,12 +39,18 @@ const (
 	// KindOversized posts a body above the server's admission cap; the
 	// contract answer is 413.
 	KindOversized Kind = "oversized"
+	// KindGateway posts a warm predict for a dataset drawn from
+	// ScheduleConfig.GatewayDatasets — names chosen to span distinct
+	// gateway shards, so a blend with gateway weight exercises the
+	// consistent-hash fan-out across ≥ 2 replicas instead of pinning all
+	// traffic to one shard's dataset.
+	KindGateway Kind = "gateway"
 )
 
 // kinds lists every scenario in canonical order — the order mixes are
 // normalized to, independent of how the user spelled the -mix flag.
 func kinds() []Kind {
-	return []Kind{KindZoo, KindBatch, KindCustom, KindNotFound, KindOversized}
+	return []Kind{KindZoo, KindBatch, KindCustom, KindNotFound, KindOversized, KindGateway}
 }
 
 // MixEntry is one scenario weight.

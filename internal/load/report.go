@@ -34,6 +34,10 @@ type Report struct {
 	// AllocsPerOpPredict is server-side heap allocations per warm
 	// /v1/predict from the in-process mode (0 when not measured).
 	AllocsPerOpPredict float64 `json:"allocs_per_op_predict,omitempty"`
+	// Gateway is the per-shard breakdown when the target is a gateway
+	// (EXPERIMENTS.md §serving): how the run's traffic spread over the
+	// ring, plus shed/rebalance counts and fan-out latency.
+	Gateway *GatewayReport `json:"gateway,omitempty"`
 }
 
 // RunReport summarizes one run.

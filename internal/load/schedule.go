@@ -49,6 +49,12 @@ type ScheduleConfig struct {
 	// Dataset is the dataset every well-formed request names. It must be
 	// served by the target for the zoo/batch/custom scenarios to hit 200.
 	Dataset string
+	// GatewayDatasets are the dataset names the gateway scenario rotates
+	// across — pick names owned by distinct shards (see
+	// StartGatewayTopology) so the blend spreads traffic over the ring.
+	// Empty falls back to [Dataset], which degrades gracefully to a
+	// single-shard warm predict against a bare controller.
+	GatewayDatasets []string
 	// ServerMaxBody is the target server's request-body admission cap;
 	// oversized-scenario bodies are padded just past it. Defaults to
 	// DefaultOversizedTarget — deliberately far below core's 8 MiB default
@@ -123,6 +129,9 @@ func BuildSchedule(cfg ScheduleConfig) (*Schedule, error) {
 	}
 	if cfg.ServerMaxBody <= 0 {
 		cfg.ServerMaxBody = DefaultOversizedTarget
+	}
+	if len(cfg.GatewayDatasets) == 0 {
+		cfg.GatewayDatasets = []string{cfg.Dataset}
 	}
 	total := 0.0
 	for _, e := range cfg.Mix {
@@ -235,6 +244,13 @@ func buildRequest(rng *tensor.RNG, kind Kind, cfg ScheduleConfig) (Request, erro
 			NumServers: 1 + rng.Intn(16),
 		})
 		return Request{Kind: kind, Path: "/v1/predict", Body: body, Expect: 404}, err
+	case KindGateway:
+		// Same warm-predict shape as zoo, but the dataset rotates over the
+		// shard-spanning names, so the sequence of owning shards is itself a
+		// pure function of the seed.
+		ds := cfg.GatewayDatasets[rng.Intn(len(cfg.GatewayDatasets))]
+		body, err := marshalBody(zooPredict(rng, ds))
+		return Request{Kind: kind, Path: "/v1/predict", Body: body, Expect: 200}, err
 	case KindOversized:
 		// A structurally valid predict request padded past the admission
 		// cap: the server must reject it at MaxBytesReader, before any

@@ -2,6 +2,7 @@ package load
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 	"time"
 )
@@ -116,7 +117,8 @@ func TestScheduleArrivalShape(t *testing.T) {
 func TestScheduleContracts(t *testing.T) {
 	cfg := ScheduleConfig{
 		Seed: 9, Mode: ModeClosed, Count: 200,
-		Mix: Mix{{KindZoo, 1}, {KindBatch, 1}, {KindCustom, 1}, {KindNotFound, 1}, {KindOversized, 1}},
+		Mix:             Mix{{KindZoo, 1}, {KindBatch, 1}, {KindCustom, 1}, {KindNotFound, 1}, {KindOversized, 1}, {KindGateway, 1}},
+		GatewayDatasets: []string{"shard-a", "shard-b"},
 	}
 	sched, err := BuildSchedule(cfg)
 	if err != nil {
@@ -137,6 +139,13 @@ func TestScheduleContracts(t *testing.T) {
 		case KindNotFound:
 			if r.Expect != 404 {
 				t.Fatalf("notfound: expect %d", r.Expect)
+			}
+		case KindGateway:
+			if r.Path != "/v1/predict" || r.Expect != 200 {
+				t.Fatalf("gateway: path %q expect %d", r.Path, r.Expect)
+			}
+			if !strings.Contains(string(r.Body), "shard-a") && !strings.Contains(string(r.Body), "shard-b") {
+				t.Fatalf("gateway body %s names neither gateway dataset", r.Body)
 			}
 		case KindOversized:
 			if r.Expect != 413 {
