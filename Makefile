@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet ddlvet vetbench bench loadbench smoke cover fuzz verify
+.PHONY: all build test race vet ddlvet vetbench bench loadbench leaderboard smoke cover fuzz verify
 
 all: verify
 
@@ -58,24 +58,37 @@ loadbench:
 		-trial-duration 800ms -max-rps-cap 600 -out BENCH_serve_gateway.json \
 		-baseline BENCH_serve_gateway_baseline.json -max-p99-regress 0.15
 
+# Backend leaderboard (DESIGN.md §14): every registered regress backend ×
+# every zoo dataset under seeded 5-fold CV, written to
+# BENCH_leaderboard.json. The artifact is deterministic (same seed ⇒
+# byte-identical), and the run gates the floor: each learned backend added
+# for the leaderboard (knn, gb-stumps) must beat the analytical roofline on
+# at least one dataset, or the target fails. -quick keeps the campaign and
+# GHN small enough for CI.
+leaderboard:
+	$(GO) run ./cmd/ddlbench -quick -leaderboard -leaderboard-out BENCH_leaderboard.json
+
 # End-to-end smoke: the live-cluster example trains a predictor, runs
 # collector + agents + HTTP controller in one process, and survives an
 # injected collector restart (~5 s). Fails loudly if the serving path rots.
 smoke:
 	$(GO) run ./examples/livecluster
 
-# Per-package coverage table with an 80% floor on the serving path
-# (internal/core, internal/cluster, internal/obs).
+# Per-package coverage table with an 80% floor on the serving path and the
+# predictor backends (internal/core, internal/cluster, internal/obs,
+# internal/regress).
 cover:
 	./scripts/cover.sh
 
 # Short fuzz pass over every target: the request decoders behind
-# /v1/predict and /v1/predict/batch, and the collector's wire-frame codec.
-# CI runs this; long exploratory sessions use `go test -fuzz` directly.
+# /v1/predict and /v1/predict/batch, the collector's wire-frame codec, and
+# the regressor-checkpoint decoder. CI runs this; long exploratory sessions
+# use `go test -fuzz` directly.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzPredictRequest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzBatchRequest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/regress -run '^$$' -fuzz FuzzLoadRegressor -fuzztime $(FUZZTIME)
 
-verify: vet build ddlvet test race smoke cover loadbench
+verify: vet build ddlvet test race smoke cover loadbench leaderboard

@@ -9,6 +9,8 @@
 //	         [-seed N] [-quick] [-dump-campaign points.csv]
 //	         [-ghn-batch N] [-ghn-parallel N] [-batch N] [-infer32] [-metrics]
 //	         [-bench-embed BENCH_embed.json]
+//	         [-leaderboard] [-leaderboard-out BENCH_leaderboard.json] [-folds N]
+//	         [-leaderboard-timings]
 //
 // -quick downsizes the lab (fewer GHN training graphs, fewer cluster
 // sizes) for a fast smoke run; -dump-campaign exports the CIFAR-10
@@ -27,9 +29,18 @@
 // artifact CI uploads. -metrics instruments the lab with a metrics registry and
 // prints its snapshot (GHN step times, embed latencies) after the figure
 // run; instrumentation never changes figure output.
+//
+// -leaderboard runs every registered predictor backend (see DESIGN.md §14)
+// over every dataset's campaign via seeded k-fold cross-validation, prints
+// the per-dataset ranking with fit/predict wall time, and writes the
+// deterministic BENCH_leaderboard.json artifact (byte-identical across
+// same-seed runs; -leaderboard-timings appends a wall-clock section at the
+// cost of that reproducibility). The run fails unless the knn and gb-stumps
+// backends each beat the analytical roofline floor on at least one dataset.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +48,7 @@ import (
 	"time"
 
 	"predictddl"
+	"predictddl/internal/dataset"
 	"predictddl/internal/experiments"
 	"predictddl/internal/obs"
 	"predictddl/internal/simulator"
@@ -58,6 +70,10 @@ func main() {
 	infer32 := flag.Bool("infer32", false, "run the batch demo on the float32 embedding fast path")
 	benchEmbed := flag.String("bench-embed", "", "benchmark the embed fast path and write the JSON report to FILE, then exit")
 	metrics := flag.Bool("metrics", false, "print the lab's metrics registry snapshot after the run")
+	leaderboard := flag.Bool("leaderboard", false, "run the predictor-backend leaderboard over every dataset instead of the figures")
+	leaderboardOut := flag.String("leaderboard-out", "BENCH_leaderboard.json", "leaderboard artifact path")
+	leaderboardTimings := flag.Bool("leaderboard-timings", false, "append wall-clock fit/predict timings to the artifact (makes it non-reproducible)")
+	folds := flag.Int("folds", 5, "leaderboard cross-validation fold count")
 	flag.Parse()
 
 	if *benchEmbed != "" {
@@ -79,6 +95,11 @@ func main() {
 		lab.GHNGraphs = 64
 		lab.GHNEpochs = 6
 		lab.ServerCounts = []int{1, 2, 4, 8, 12, 16, 20}
+	}
+
+	if *leaderboard {
+		exitOn(runLeaderboard(lab, *leaderboardOut, *folds, *leaderboardTimings))
+		return
 	}
 
 	if *dumpCampaign != "" {
@@ -222,6 +243,73 @@ func main() {
 		section("Metrics registry snapshot (GHN training + embed instrumentation)")
 		fmt.Print(lab.Obs.Snapshot().Text())
 	}
+}
+
+// runLeaderboard evaluates every registered backend over every dataset's
+// campaign via seeded k-fold, prints the ranking with wall-clock timings,
+// and writes the BENCH_leaderboard.json artifact. The artifact is
+// byte-identical across same-seed runs unless -leaderboard-timings opts into
+// the wall-clock section. Exit is non-zero when a learned backend fails to
+// beat the analytical roofline floor on at least one dataset — the
+// leaderboard's reason to exist is that learned backends must earn their keep.
+func runLeaderboard(lab *experiments.Lab, outPath string, folds int, withTimings bool) error {
+	names := dataset.Names()
+	section(fmt.Sprintf("Backend leaderboard — %d backends × %s, %d-fold CV, seed %d",
+		len(predictddl.BackendNames()), strings.Join(names, "/"), folds, lab.Seed))
+	datasets := make([]dataset.Dataset, len(names))
+	for i, n := range names {
+		d, err := dataset.Lookup(n)
+		if err != nil {
+			return err
+		}
+		datasets[i] = d
+	}
+	corpora, err := lab.LeaderboardCorpora(datasets)
+	if err != nil {
+		return err
+	}
+	board, timings, err := experiments.RunLeaderboard(corpora, experiments.LeaderboardConfig{Seed: lab.Seed, Folds: folds}, clock)
+	if err != nil {
+		return err
+	}
+	fmt.Print(board.RenderTable(timings))
+
+	data, err := board.MarshalArtifact()
+	if err != nil {
+		return err
+	}
+	if withTimings {
+		extended := struct {
+			*experiments.Leaderboard
+			Timings []experiments.LeaderboardTiming `json:"timings"`
+		}{board, timings}
+		if data, err = json.MarshalIndent(extended, "", "  "); err != nil {
+			return err
+		}
+		data = append(data, '\n')
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s (%d backends × %d datasets)\n", outPath, len(board.Backends), len(board.Datasets))
+
+	// The floor gate: each learned newcomer must beat roofline somewhere.
+	for _, learned := range []string{"knn", "gb-stumps"} {
+		beats := false
+		for _, d := range board.Datasets {
+			l, lok := board.Entry(d.Dataset, learned)
+			r, rok := board.Entry(d.Dataset, "roofline")
+			if lok && rok && l.Error == "" && r.Error == "" && l.MAPE < r.MAPE {
+				beats = true
+				break
+			}
+		}
+		if !beats {
+			return fmt.Errorf("learned backend %q does not beat the roofline floor on any dataset", learned)
+		}
+	}
+	fmt.Println("floor gate: knn and gb-stumps each beat the roofline on ≥ 1 dataset")
+	return nil
 }
 
 // runBatchDemo trains a quick predictor and compares a serial Predict loop

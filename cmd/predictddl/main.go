@@ -86,9 +86,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  predictddl train   -dataset NAME -o FILE [-full]
-  predictddl predict -dataset NAME -model NAME -servers N [-spec NAME] [-load FILE] [-quick]
-  predictddl serve   -addr :8080 [-datasets cifar10,tiny-imagenet] [-collector ADDR] [-quick]
+  predictddl train   -dataset NAME -o FILE [-full] [-backend NAME]
+  predictddl predict -dataset NAME -model NAME -servers N [-spec NAME] [-load FILE] [-quick] [-backend NAME]
+  predictddl serve   -addr :8080 [-datasets cifar10,tiny-imagenet] [-collector ADDR] [-quick] [-backend NAME]
                      [-read-timeout 30s] [-write-timeout 2m] [-idle-timeout 2m]
                      [-shutdown-timeout 30s] [-max-body N] [-max-batch N] [-collector-ttl 30s]
                      [-pprof] [-trace-log] [-infer32]
@@ -104,13 +104,14 @@ func runTrain(args []string) error {
 	ds := fs.String("dataset", "cifar10", "dataset type")
 	out := fs.String("o", "", "output predictor file (required)")
 	full := fs.Bool("full", false, "full-fidelity offline training (slower)")
+	backend := backendFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *out == "" {
 		return fmt.Errorf("-o is required")
 	}
-	p, err := trainOne(*ds, !*full)
+	p, err := trainOne(*ds, !*full, *backend)
 	if err != nil {
 		return err
 	}
@@ -121,15 +122,28 @@ func runTrain(args []string) error {
 	return nil
 }
 
-func trainOne(ds string, quick bool) (*predictddl.Predictor, error) {
+func trainOne(ds string, quick bool, backend string) (*predictddl.Predictor, error) {
 	opts := predictddl.Options{Dataset: ds}
 	if quick {
 		opts.GHNGraphs = 64
 		opts.GHNEpochs = 6
 		opts.ServerCounts = []int{1, 2, 4, 8, 12, 16, 20}
 	}
+	if backend != "" {
+		m, err := predictddl.NewBackendRegressor(backend, 1)
+		if err != nil {
+			return nil, err
+		}
+		opts.Regressor = m
+	}
 	fmt.Fprintf(os.Stderr, "training PredictDDL for %s (offline GHN + campaign + regressor fit)...\n", ds)
 	return predictddl.Train(opts)
+}
+
+func backendFlag(fs *flag.FlagSet) *string {
+	return fs.String("backend", "",
+		fmt.Sprintf("prediction backend (one of %s; empty = serving default)",
+			strings.Join(predictddl.BackendNames(), ", ")))
 }
 
 func runPredict(args []string) error {
@@ -141,6 +155,7 @@ func runPredict(args []string) error {
 	topology := fs.String("topology", "", "JSON topology file describing a custom (possibly heterogeneous/loaded) cluster")
 	quick := fs.Bool("quick", true, "downsized offline training")
 	load := fs.String("load", "", "load a saved predictor instead of training")
+	backend := backendFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -154,7 +169,7 @@ func runPredict(args []string) error {
 			return err
 		}
 		*ds = p.Dataset().Name
-	} else if p, err = trainOne(*ds, *quick); err != nil {
+	} else if p, err = trainOne(*ds, *quick, *backend); err != nil {
 		return err
 	}
 	var secs float64
@@ -285,6 +300,7 @@ func runServe(args []string) error {
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	traceLog := fs.Bool("trace-log", true, "log ?trace=1 request traces to stderr")
 	infer32 := fs.Bool("infer32", false, "serve embeddings on the float32 fast path (faster, not bit-identical to float64)")
+	backend := backendFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -294,7 +310,7 @@ func runServe(args []string) error {
 		if ds == "" {
 			continue
 		}
-		p, err := trainOne(ds, *quick)
+		p, err := trainOne(ds, *quick, *backend)
 		if err != nil {
 			return err
 		}

@@ -12,6 +12,7 @@ import (
 	"predictddl/internal/graph"
 	"predictddl/internal/obs"
 	"predictddl/internal/regress"
+	"predictddl/internal/simulator"
 	"predictddl/internal/tensor"
 )
 
@@ -26,6 +27,11 @@ type InferenceEngine struct {
 	dataset string
 	ghn     *ghn.GHN
 	model   regress.Regressor
+	// kind is the model's feature schema, fixed at construction: embedding
+	// backends consume [GHN embedding ‖ cluster features], analytic backends
+	// (the roofline) consume simulator.AnalyticFeatures and never touch the
+	// GHN on the predict path.
+	kind regress.FeatureKind
 
 	mu sync.Mutex
 	// cache is the content-addressed embedding cache: keyed by
@@ -62,9 +68,13 @@ func NewInferenceEngine(dataset string, g *ghn.GHN, model regress.Regressor) *In
 		dataset: dataset,
 		ghn:     g,
 		model:   model,
+		kind:    regress.KindOf(model),
 		cache:   newEmbedCache(DefaultEmbeddingCacheSize),
 	}
 }
+
+// ModelKind reports the feature schema the engine's regressor consumes.
+func (e *InferenceEngine) ModelKind() regress.FeatureKind { return e.kind }
 
 // SetEmbeddingCacheSize rebounds the embedding cache to at most n entries
 // (n <= 0 removes the bound). The cache is cleared: embeddings are pure
@@ -261,10 +271,19 @@ func (e *InferenceEngine) EmbedAll(graphs []*graph.Graph) ([][]float64, error) {
 	return out, nil
 }
 
-// Features builds the regression input: [embedding ‖ cluster features].
+// Features builds the regression input for the engine's model kind:
+// [embedding ‖ cluster features] for embedding backends, the analytic scalar
+// schema for analytic ones.
 func (e *InferenceEngine) Features(g *graph.Graph, c cluster.Cluster) ([]float64, error) {
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("core: features: %w", err)
+	}
+	if e.kind == regress.FeatureAnalytic {
+		feats, err := simulator.AnalyticFeaturesFor(g, c)
+		if err != nil {
+			return nil, fmt.Errorf("core: features: %w", err)
+		}
+		return feats, nil
 	}
 	emb, err := e.Embedding(g)
 	if err != nil {
@@ -290,14 +309,27 @@ func (e *InferenceEngine) PredictTraced(g *graph.Graph, c cluster.Cluster, tr *o
 	if err := c.Validate(); err != nil {
 		return 0, fmt.Errorf("core: features: %w", err)
 	}
-	stop := tr.Stage("embed")
-	emb, err := e.Embedding(g)
-	stop()
-	if err != nil {
-		return 0, err
+	var feats []float64
+	if e.kind == regress.FeatureAnalytic {
+		// Analytic backends never touch the GHN: the feature row is a pure
+		// function of the graph's scalar stats and the cluster descriptor.
+		stop := tr.Stage("features")
+		f, err := simulator.AnalyticFeaturesFor(g, c)
+		stop()
+		if err != nil {
+			return 0, fmt.Errorf("core: features: %w", err)
+		}
+		feats = f
+	} else {
+		stop := tr.Stage("embed")
+		emb, err := e.Embedding(g)
+		stop()
+		if err != nil {
+			return 0, err
+		}
+		feats = tensor.Concat(emb, c.Features())
 	}
-	feats := tensor.Concat(emb, c.Features())
-	stop = tr.Stage("regress")
+	stop := tr.Stage("regress")
 	pred, err := e.model.Predict(feats)
 	stop()
 	if err != nil {
@@ -326,16 +358,19 @@ func (e *InferenceEngine) PredictBatch(graphs []*graph.Graph, clusters []cluster
 	out := make([]BatchPrediction, len(graphs))
 	// Warm the cache for every distinct architecture in one parallel pass;
 	// per-item errors (nil or cyclic graphs) fall through to the serial
-	// loop so they are reported per item.
-	valid := make([]*graph.Graph, 0, len(graphs))
-	for _, g := range graphs {
-		if g != nil {
-			valid = append(valid, g)
+	// loop so they are reported per item. Analytic backends skip the warm-up:
+	// their predict path never embeds.
+	if e.kind == regress.FeatureEmbedding {
+		valid := make([]*graph.Graph, 0, len(graphs))
+		for _, g := range graphs {
+			if g != nil {
+				valid = append(valid, g)
+			}
 		}
+		// An embed failure (e.g. a cyclic graph) is re-discovered serially
+		// below and attributed to its item.
+		_, _ = e.EmbedAll(valid)
 	}
-	// An embed failure (e.g. a cyclic graph) is re-discovered serially
-	// below and attributed to its item.
-	_, _ = e.EmbedAll(valid)
 	for i := range graphs {
 		if graphs[i] == nil {
 			out[i].Err = fmt.Errorf("core: nil graph")

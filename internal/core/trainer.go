@@ -54,6 +54,26 @@ func DesignMatrixWithEmbeddings(g *ghn.GHN, points []simulator.DataPoint, gcfg g
 	return x, y, embeddings, nil
 }
 
+// AnalyticDesignMatrix assembles the regression dataset for analytic-kind
+// backends: each row is simulator.AnalyticFeatures (graph scalars ‖ cluster
+// features) with no GHN involvement.
+func AnalyticDesignMatrix(points []simulator.DataPoint) (*tensor.Matrix, []float64, error) {
+	if len(points) == 0 {
+		return nil, nil, fmt.Errorf("core: no campaign points")
+	}
+	x := tensor.NewMatrix(len(points), simulator.NumAnalyticFeatures())
+	y := make([]float64, len(points))
+	for i, p := range points {
+		row, err := p.AnalyticFeatures()
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: analytic design matrix point %d: %w", i, err)
+		}
+		x.SetRow(i, row)
+		y[i] = p.Seconds
+	}
+	return x, y, nil
+}
+
 // TrainOptions configures the Offline Trainer (Fig. 8 of the paper).
 type TrainOptions struct {
 	// Dataset selects the dataset type; the GHN registry is keyed by it.
@@ -142,9 +162,17 @@ func TrainEngine(opts TrainOptions) (*TrainResult, error) {
 		model = regress.NewLogTarget(regress.NewLinearRegression())
 	}
 	start = time.Now()
+	// Embeddings are computed for every model kind: analytic backends skip
+	// them at fit and predict time, but the Confidence reference set still
+	// lives in embedding space.
 	x, y, embeddings, err := DesignMatrixWithEmbeddings(g, points, opts.Dataset.GraphConfig())
 	if err != nil {
 		return nil, err
+	}
+	if regress.KindOf(model) == regress.FeatureAnalytic {
+		if x, y, err = AnalyticDesignMatrix(points); err != nil {
+			return nil, err
+		}
 	}
 	if err := model.Fit(x, y); err != nil {
 		return nil, fmt.Errorf("core: fitting prediction model: %w", err)

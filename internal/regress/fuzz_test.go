@@ -1,0 +1,62 @@
+package regress
+
+import (
+	"bytes"
+	"testing"
+
+	"predictddl/internal/tensor"
+)
+
+// FuzzLoadRegressor drives arbitrary bytes through the model decoder: Load
+// must either return a usable model or an error — never panic — and any
+// model it does return must survive Predict at arbitrary widths. Seeded
+// with a valid save of every serializable kind so mutations explore the
+// envelope and snapshot space instead of only rejecting garbage prefixes.
+func FuzzLoadRegressor(f *testing.F) {
+	rng := tensor.NewRNG(1)
+	x, y := synthData(rng, 30, 3, 0.05, func(v []float64) float64 { return 10 + v[0] })
+	xa, ya := contractData(FeatureAnalytic, 2, 20)
+	seeds := []struct {
+		m  Regressor
+		x  *tensor.Matrix
+		y  []float64
+		ok bool
+	}{
+		{NewLinearRegression(), x, y, true},
+		{NewPolynomialRegression(2), x, y, true},
+		{NewKNN(1), x, y, true},
+		{NewGradientBoostedStumps(1), x, y, true},
+		{NewRoofline(), xa, ya, true},
+		{NewLogTarget(NewKNN(1)), x, y, true},
+		{NewLinearRegression(), nil, nil, false}, // unfitted is saveable too
+	}
+	for _, s := range seeds {
+		if s.ok {
+			if err := s.m.Fit(s.x, s.y); err != nil {
+				f.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, s.m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return // keep gob's pre-validation allocations bounded
+		}
+		m, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, w := range []int{0, 1, 3, 13} {
+			if _, err := m.Predict(make([]float64, w)); err != nil {
+				continue // errors are fine; panics are the bug
+			}
+		}
+	})
+}

@@ -21,6 +21,81 @@ func KFold(n, k int, rng *tensor.RNG) ([][]int, error) {
 	return folds, nil
 }
 
+// FoldScore is one fold's held-out error under both leaderboard metrics.
+type FoldScore struct {
+	// RMSE is the fold's root-mean-square error.
+	RMSE float64
+	// MAPE is the fold's mean absolute percentage error.
+	MAPE float64
+}
+
+// CrossValidateScores fits a fresh model per fold and returns each fold's
+// held-out RMSE and MAPE. It refuses the degenerate inputs that used to slip
+// through CrossValidate into NaN scores: fewer rows than folds (via KFold),
+// non-positive targets (MAPE undefined), and constant-target training folds
+// (the model would learn nothing and every percentage error is meaningless) —
+// each with an error naming the offending fold.
+func CrossValidateScores(newModel func() Regressor, x *tensor.Matrix, y []float64, k int, rng *tensor.RNG) ([]FoldScore, error) {
+	if err := checkTrainingData(x, y); err != nil {
+		return nil, err
+	}
+	for i, v := range y {
+		if v <= 0 {
+			return nil, fmt.Errorf("regress: cross-validation target %d is %g; MAPE needs positive targets", i, v)
+		}
+	}
+	folds, err := KFold(x.Rows(), k, rng)
+	if err != nil {
+		return nil, err
+	}
+	scores := make([]FoldScore, k)
+	for i, test := range folds {
+		train := complementIndices(x.Rows(), test)
+		xTrain, yTrain := Take(x, y, train)
+		if constantTargets(yTrain) {
+			return nil, fmt.Errorf("regress: fold %d training targets are all %g; constant-target folds are untrainable (use fewer folds or more varied data)", i, yTrain[0])
+		}
+		xTest, yTest := Take(x, y, test)
+		m := newModel()
+		if err := m.Fit(xTrain, yTrain); err != nil {
+			return nil, fmt.Errorf("regress: fold %d: %w", i, err)
+		}
+		pred, err := PredictAll(m, xTest)
+		if err != nil {
+			return nil, fmt.Errorf("regress: fold %d: %w", i, err)
+		}
+		mape, err := MAPE(pred, yTest)
+		if err != nil {
+			return nil, fmt.Errorf("regress: fold %d: %w", i, err)
+		}
+		scores[i] = FoldScore{RMSE: RMSE(pred, yTest), MAPE: mape}
+	}
+	return scores, nil
+}
+
+func complementIndices(n int, exclude []int) []int {
+	in := make(map[int]bool, len(exclude))
+	for _, idx := range exclude {
+		in[idx] = true
+	}
+	out := make([]int, 0, n-len(exclude))
+	for idx := 0; idx < n; idx++ {
+		if !in[idx] {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+func constantTargets(y []float64) bool {
+	for _, v := range y[1:] {
+		if v != y[0] {
+			return false
+		}
+	}
+	return true
+}
+
 // CrossValidate fits a fresh model per fold and returns the per-fold test
 // RMSEs — the model-selection primitive behind the paper's "divide the
 // data into training and test splits and use the test part to estimate the
@@ -35,17 +110,7 @@ func CrossValidate(newModel func() Regressor, x *tensor.Matrix, y []float64, k i
 	}
 	rmses := make([]float64, k)
 	for i, test := range folds {
-		inTest := make(map[int]bool, len(test))
-		for _, idx := range test {
-			inTest[idx] = true
-		}
-		var train []int
-		for idx := 0; idx < x.Rows(); idx++ {
-			if !inTest[idx] {
-				train = append(train, idx)
-			}
-		}
-		xTrain, yTrain := Take(x, y, train)
+		xTrain, yTrain := Take(x, y, complementIndices(x.Rows(), test))
 		xTest, yTest := Take(x, y, test)
 		m := newModel()
 		if err := m.Fit(xTrain, yTrain); err != nil {

@@ -62,6 +62,25 @@ func MaxRelativeError(pred, actual []float64) float64 {
 	return m
 }
 
+// MAPE returns the mean absolute percentage error,
+// mean(|predicted − actual| / actual) — the leaderboard's ranking metric.
+// Unlike MeanRelativeError it refuses non-positive targets instead of
+// silently producing ±Inf or NaN, so a bad fold surfaces as a diagnosable
+// error rather than a poisoned score.
+func MAPE(pred, actual []float64) (float64, error) {
+	if len(pred) != len(actual) || len(pred) == 0 {
+		return 0, fmt.Errorf("regress: MAPE over mismatched slices %d vs %d", len(pred), len(actual))
+	}
+	var s float64
+	for i, p := range pred {
+		if actual[i] <= 0 {
+			return 0, fmt.Errorf("regress: MAPE needs positive targets, got %g at index %d", actual[i], i)
+		}
+		s += math.Abs(p-actual[i]) / actual[i]
+	}
+	return s / float64(len(pred)), nil
+}
+
 // R2 returns the coefficient of determination.
 func R2(pred, actual []float64) float64 {
 	mustSameLen(pred, actual)

@@ -1,0 +1,117 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+
+	"predictddl/internal/simulator"
+	"predictddl/internal/tensor"
+)
+
+// RooflineRegressor is the analytical "you must beat this" floor of the
+// backend leaderboard. It learns nothing from feature geometry: each
+// prediction is reconstructed from the simulator's own per-iteration
+// compute/communication/overhead cost functions applied to the analytic
+// feature schema (simulator.AnalyticFeatures), times a single calibration
+// scale fitted as the geometric mean of target/estimate ratios. The scale
+// absorbs the per-corpus constants the features cannot see (epochs, dataset
+// size, per-server batch); everything the roofline deliberately ignores —
+// operation mix, input-pipeline stalls, graph-shape efficiency effects — is
+// exactly the signal a learned backend must exploit to beat it.
+type RooflineRegressor struct {
+	// Opts tunes the underlying cost model; the zero value takes the
+	// simulator's calibrated defaults.
+	Opts simulator.Options
+
+	scale        float64
+	featureCount int
+}
+
+// NewRoofline returns a roofline baseline over the simulator's default cost
+// model.
+func NewRoofline() *RooflineRegressor { return &RooflineRegressor{} }
+
+// Name implements Regressor.
+func (m *RooflineRegressor) Name() string { return "roofline" }
+
+// Scale reports the fitted calibration factor (0 before Fit).
+func (m *RooflineRegressor) Scale() float64 { return m.scale }
+
+// analyticIdx caches the schema positions the roofline reads. Resolved by
+// name once so a schema reordering cannot silently misroute a feature.
+var analyticIdx = struct {
+	flops, params, nodes, servers, minGFLOPS, gpus, nic int
+}{
+	flops:     simulator.AnalyticIndex("flops"),
+	params:    simulator.AnalyticIndex("params"),
+	nodes:     simulator.AnalyticIndex("num_nodes"),
+	servers:   simulator.AnalyticIndex("num_servers"),
+	minGFLOPS: simulator.AnalyticIndex("min_server_gflops"),
+	gpus:      simulator.AnalyticIndex("num_gpus"),
+	nic:       simulator.AnalyticIndex("min_nic_gbps"),
+}
+
+// rawEstimate reconstructs per-server step time from one analytic feature
+// row: slowest-server compute at the simulator's base efficiency, plus the
+// exposed ring all-reduce and per-iteration overhead, divided by the server
+// count (iteration count per epoch shrinks linearly with data parallelism;
+// the dataset-size constant lands in the fitted scale).
+func (m *RooflineRegressor) rawEstimate(f []float64) (float64, error) {
+	servers := int(f[analyticIdx.servers])
+	if servers < 1 {
+		return 0, fmt.Errorf("regress: roofline needs ≥ 1 server, got %g", f[analyticIdx.servers])
+	}
+	minGF := f[analyticIdx.minGFLOPS]
+	if minGF <= 0 {
+		return 0, fmt.Errorf("regress: roofline needs positive min_server_gflops, got %g", minGF)
+	}
+	stepFLOPs := 3 * f[analyticIdx.flops] * simulator.DefaultBatchPerServer
+	eff := simulator.BaseEfficiency(f[analyticIdx.gpus] > 0)
+	compute := stepFLOPs / (minGF * 1e9 * eff)
+	comm := m.Opts.CommPerIteration(compute, servers, 4*f[analyticIdx.params], f[analyticIdx.nic])
+	overhead := m.Opts.OverheadPerIteration(int(f[analyticIdx.nodes]), servers)
+	return (compute + comm + overhead) / float64(servers), nil
+}
+
+// Fit implements Regressor. x must use the analytic feature schema
+// (simulator.AnalyticFeatures order); targets must be positive.
+func (m *RooflineRegressor) Fit(x *tensor.Matrix, y []float64) error {
+	if err := checkTrainingData(x, y); err != nil {
+		return err
+	}
+	if x.Cols() != simulator.NumAnalyticFeatures() {
+		return fmt.Errorf("regress: roofline needs the %d-wide analytic feature schema, got %d columns", simulator.NumAnalyticFeatures(), x.Cols())
+	}
+	var logSum float64
+	for i := 0; i < x.Rows(); i++ {
+		if y[i] <= 0 {
+			return fmt.Errorf("regress: roofline needs positive targets, got %g at row %d", y[i], i)
+		}
+		raw, err := m.rawEstimate(x.Row(i))
+		if err != nil {
+			return fmt.Errorf("regress: roofline row %d: %w", i, err)
+		}
+		if raw <= 0 {
+			return fmt.Errorf("regress: roofline row %d: non-positive cost estimate %g", i, raw)
+		}
+		logSum += math.Log(y[i] / raw)
+	}
+	m.scale = math.Exp(logSum / float64(x.Rows()))
+	m.featureCount = x.Cols()
+	return nil
+}
+
+// Predict implements Regressor.
+func (m *RooflineRegressor) Predict(features []float64) (float64, error) {
+	if m.featureCount == 0 {
+		return 0, ErrNotFitted
+	}
+	if len(features) != m.featureCount {
+		return 0, fmt.Errorf("regress: roofline fitted on %d features, got %d", m.featureCount, len(features))
+	}
+	raw, err := m.rawEstimate(features)
+	if err != nil {
+		return 0, err
+	}
+	return m.scale * raw, nil
+}

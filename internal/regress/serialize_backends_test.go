@@ -1,0 +1,140 @@
+package regress
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"predictddl/internal/tensor"
+)
+
+// Round-trip and corrupt-blob coverage for the leaderboard backends added to
+// the serializer: kNN, gradient-boosted stumps, and the roofline baseline,
+// plus their LogTarget wrappers (the form the registry actually serves).
+
+func fittedKNN(t *testing.T) (*KNNRegressor, *tensor.Matrix) {
+	t.Helper()
+	rng := tensor.NewRNG(21)
+	x, y := synthData(rng, 50, 4, 0.05, func(v []float64) float64 { return 10 + v[0] + v[1] })
+	m := NewKNN(1)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	return m, x
+}
+
+func TestKNNRoundTrip(t *testing.T) {
+	m, x := fittedKNN(t)
+	back := roundTrip(t, m)
+	if back.Name() != "knn" {
+		t.Fatalf("name = %q", back.Name())
+	}
+	if got := back.(*KNNRegressor); got.ChosenK() != m.ChosenK() || got.LocalLinear != m.LocalLinear {
+		t.Fatalf("loaded knn k=%d local=%v, want k=%d local=%v", got.ChosenK(), got.LocalLinear, m.ChosenK(), m.LocalLinear)
+	}
+	assertSamePredictions(t, m, back, x)
+}
+
+func TestKNNSaveRefusesUnfitted(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, NewKNN(1)); err == nil {
+		t.Fatal("unfitted knn serialized (there is no training set to persist)")
+	}
+}
+
+func TestGBStumpsRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(22)
+	x, y := synthData(rng, 60, 3, 0.1, func(v []float64) float64 { return 10 + 2*v[0] - v[2] })
+	m := NewGradientBoostedStumps(1)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	back := roundTrip(t, m)
+	if got := back.(*GradientBoostedStumps); got.NumStumps() != m.NumStumps() {
+		t.Fatalf("loaded %d stumps, want %d", got.NumStumps(), m.NumStumps())
+	}
+	assertSamePredictions(t, m, back, x)
+}
+
+func TestRooflineRoundTrip(t *testing.T) {
+	x, y := contractData(FeatureAnalytic, 23, 25)
+	m := NewRoofline()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	back := roundTrip(t, m)
+	if got := back.(*RooflineRegressor); got.Scale() != m.Scale() {
+		t.Fatalf("scale %v != %v after round trip", got.Scale(), m.Scale())
+	}
+	assertSamePredictions(t, m, back, x)
+}
+
+func TestLogWrappedBackendRoundTrips(t *testing.T) {
+	rng := tensor.NewRNG(24)
+	x, y := synthData(rng, 50, 3, 0.05, func(v []float64) float64 { return 10 + v[0] })
+	for _, mk := range []func() Regressor{
+		func() Regressor { return NewLogTarget(NewKNN(1)) },
+		func() Regressor { return NewLogTarget(NewGradientBoostedStumps(1)) },
+	} {
+		m := mk()
+		if err := m.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		back := roundTrip(t, m)
+		if back.Name() != m.Name() {
+			t.Fatalf("name %q != %q", back.Name(), m.Name())
+		}
+		assertSamePredictions(t, m, back, x)
+	}
+}
+
+// corruptEnvelope encodes a snapshot under the given kind tag, simulating an
+// on-disk blob whose payload no longer satisfies the model's invariants.
+func corruptEnvelope(t *testing.T, kind string, snapshot any) []byte {
+	t.Helper()
+	blob, err := encodeBlob(snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&envelope{Kind: kind, Blob: blob}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadRejectsCorruptSnapshots(t *testing.T) {
+	cases := []struct {
+		name     string
+		kind     string
+		snapshot any
+	}{
+		{"knn dimension mismatch", kindKNN, knnSnapshot{
+			ChosenK: 1, Rows: 3, Cols: 2, X: []float64{1, 2, 3}, Y: []float64{1, 2, 3},
+			Scaler: &scalerSnapshot{Mean: []float64{0, 0}, Std: []float64{1, 1}},
+		}},
+		{"knn chosen k out of range", kindKNN, knnSnapshot{
+			ChosenK: 9, Rows: 2, Cols: 1, X: []float64{1, 2}, Y: []float64{1, 2},
+			Scaler: &scalerSnapshot{Mean: []float64{0}, Std: []float64{1}},
+		}},
+		{"knn scaler width mismatch", kindKNN, knnSnapshot{
+			ChosenK: 1, Rows: 2, Cols: 2, X: []float64{1, 2, 3, 4}, Y: []float64{1, 2},
+			Scaler: &scalerSnapshot{Mean: []float64{0}, Std: []float64{1}},
+		}},
+		{"gb stump splits ghost feature", kindGBStumps, gbSnapshot{
+			FeatureCount: 2, Stumps: []stump{{Feature: 5, Threshold: 1}},
+		}},
+		{"gb zero features", kindGBStumps, gbSnapshot{FeatureCount: 0}},
+		{"roofline wrong schema width", kindRoofline, rooflineSnapshot{Scale: 1, FeatureCount: 3}},
+		{"roofline non-positive scale", kindRoofline, rooflineSnapshot{Scale: 0, FeatureCount: 13}},
+		{"unknown kind", "warp-drive", struct{}{}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			data := corruptEnvelope(t, c.kind, c.snapshot)
+			if _, err := Load(bytes.NewReader(data)); err == nil {
+				t.Fatal("corrupt snapshot loaded without error")
+			}
+		})
+	}
+}

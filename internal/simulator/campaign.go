@@ -54,6 +54,15 @@ type CampaignSpec struct {
 	BatchPerServer, Epochs int
 }
 
+// DefaultBatchPerServer and DefaultEpochs are the campaign training-loop
+// defaults (the paper's per-server minibatch of 128 over 10 epochs). The
+// regress roofline baseline assumes these when reconstructing step time from
+// scalar features.
+const (
+	DefaultBatchPerServer = 128
+	DefaultEpochs         = 10
+)
+
 func (cs CampaignSpec) withDefaults() CampaignSpec {
 	if len(cs.Models) == 0 {
 		cs.Models = graph.Zoo()
@@ -62,10 +71,10 @@ func (cs CampaignSpec) withDefaults() CampaignSpec {
 		cs.ServerCounts = CountRange(1, 20)
 	}
 	if cs.BatchPerServer <= 0 {
-		cs.BatchPerServer = 128
+		cs.BatchPerServer = DefaultBatchPerServer
 	}
 	if cs.Epochs <= 0 {
-		cs.Epochs = 10
+		cs.Epochs = DefaultEpochs
 	}
 	return cs
 }

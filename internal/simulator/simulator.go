@@ -88,6 +88,38 @@ type Options struct {
 	SyncPerIteration float64
 }
 
+// CommPerIteration returns the exposed (non-overlapped) gradient all-reduce
+// seconds per optimizer step: a ring all-reduce of gradBytes over the
+// slowest NIC, minus the fraction hidden behind the backward pass. Zero-value
+// option fields take the calibrated defaults. This is the communication half
+// of the cost model Simulate applies and the regress roofline baseline reuses.
+func (o Options) CommPerIteration(computePerIter float64, servers int, gradBytes, nicGbps float64) float64 {
+	if servers <= 1 {
+		return 0
+	}
+	bw := nicGbps * 1e9 / 8 // bytes/sec
+	// Ring all-reduce moves 2(n−1)/n of the data per node.
+	comm := 2 * float64(servers-1) / float64(servers) * gradBytes / bw
+	// Per-step latency: 2(n−1) ring hops at ~50 µs each.
+	comm += 2 * float64(servers-1) * 50e-6
+	// DDP buckets gradients and overlaps the all-reduce with the
+	// backward pass (~2/3 of step compute); only the excess is exposed.
+	return math.Max(0, comm-(2.0/3.0)*computePerIter)
+}
+
+// OverheadPerIteration returns the per-step framework cost: one kernel (or
+// BLAS) dispatch per graph node each forward+backward, plus the
+// data-parallel synchronization barrier when more than one server
+// participates. Zero-value option fields take the calibrated defaults.
+func (o Options) OverheadPerIteration(nodes, servers int) float64 {
+	o = o.withDefaults()
+	overhead := 2 * float64(nodes) * o.FrameworkOverheadPerOp
+	if servers > 1 {
+		overhead += o.SyncPerIteration
+	}
+	return overhead
+}
+
 func (o Options) withDefaults() Options {
 	if o.NoiseSigma == 0 {
 		o.NoiseSigma = 0.03
@@ -158,24 +190,11 @@ func (s *Simulator) Simulate(w Workload, c cluster.Cluster) (Breakdown, error) {
 			computePerIter = t
 		}
 	}
-	// Per-op dispatch overhead: every graph node launches a kernel (or BLAS
-	// call) each forward+backward.
-	overheadPerIter := 2 * float64(w.Graph.NumNodes()) * s.opts.FrameworkOverheadPerOp
-
-	// --- Communication: ring all-reduce of gradients each iteration. ---
-	var commPerIter float64
-	if n > 1 {
-		gradBytes := 4 * float64(w.Graph.TotalParams())
-		bw := c.MinNICGbps() * 1e9 / 8 // bytes/sec
-		// Ring all-reduce moves 2(n−1)/n of the data per node.
-		commPerIter = 2 * float64(n-1) / float64(n) * gradBytes / bw
-		// Per-step latency: 2(n−1) ring hops at ~50 µs each.
-		commPerIter += 2 * float64(n-1) * 50e-6
-		// DDP buckets gradients and overlaps the all-reduce with the
-		// backward pass (~2/3 of step compute); only the excess is exposed.
-		commPerIter = math.Max(0, commPerIter-(2.0/3.0)*computePerIter)
-		overheadPerIter += s.opts.SyncPerIteration
-	}
+	// Per-op dispatch overhead plus the exposed all-reduce cost, both from
+	// the shared per-iteration cost functions (also the substrate of the
+	// regress roofline baseline).
+	overheadPerIter := s.opts.OverheadPerIteration(w.Graph.NumNodes(), n)
+	commPerIter := s.opts.CommPerIteration(computePerIter, n, 4*float64(w.Graph.TotalParams()), c.MinNICGbps())
 
 	// --- Input pipeline: NFS-served dataset reads per epoch. ---
 	perClient := math.Min(s.opts.NFSAggregateMBps/float64(n), 125*c.MinNICGbps()/10)
@@ -208,10 +227,7 @@ func (s *Simulator) Simulate(w Workload, c cluster.Cluster) (Breakdown, error) {
 // dense convolutions raise it. This is where "two models with equal FLOPs
 // train at different speeds" comes from.
 func (s *Simulator) efficiency(g *graph.Graph, gpu bool) float64 {
-	base := 0.32
-	if gpu {
-		base = 0.48
-	}
+	base := BaseEfficiency(gpu)
 	counts := g.OpCounts()
 	nodes := float64(g.NumNodes())
 
@@ -238,6 +254,18 @@ func (s *Simulator) efficiency(g *graph.Graph, gpu bool) float64 {
 		eff = 0.02
 	}
 	return eff
+}
+
+// BaseEfficiency returns the achieved-fraction-of-peak starting point of
+// the efficiency model before the op-mix corrections: training kernels reach
+// a higher fraction of peak on GPUs than on CPUs. Exported so analytical
+// baselines (the regress roofline backend) share the simulator's own
+// calibration instead of inventing their own.
+func BaseEfficiency(gpu bool) float64 {
+	if gpu {
+		return 0.48
+	}
+	return 0.32
 }
 
 // noiseFactor derives a deterministic log-normal noise multiplier from the

@@ -78,6 +78,18 @@ type (
 // clock.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry(nil) }
 
+// BackendNames lists the registered predictor backends in leaderboard order
+// (the values accepted by NewBackendRegressor and the CLIs' -backend flag).
+func BackendNames() []string { return regress.BackendNames() }
+
+// NewBackendRegressor builds a fresh model for a registered backend name
+// ("linear", "polynomial-2", "svr-rbf", "svr-linear", "mlp", "knn",
+// "gb-stumps", "roofline") for use as Options.Regressor. The seed drives any
+// stochastic choices; the same seed yields bit-identical fits.
+func NewBackendRegressor(name string, seed int64) (Regressor, error) {
+	return regress.NewBackend(name, seed)
+}
+
 // Zoo returns the 31 built-in architecture names.
 func Zoo() []string { return graph.Zoo() }
 

@@ -2,8 +2,8 @@
 # cover.sh — per-package coverage gate.
 #
 # Runs `go test -cover` over the whole module, prints a per-package table,
-# and fails when any gated package (the serving path and its observability
-# layer) falls below the floor. Extra packages are reported but not gated:
+# and fails when any gated package (the serving path, its observability
+# layer, and the predictor backends) falls below the floor. Extra packages are reported but not gated:
 # the gate should catch regressions where tests exist, not force covering
 # the figure drivers' long-running experiment code.
 #
@@ -12,7 +12,7 @@
 set -eu
 
 FLOOR="${1:-80}"
-GATED="predictddl/internal/core predictddl/internal/cluster predictddl/internal/obs"
+GATED="predictddl/internal/core predictddl/internal/cluster predictddl/internal/obs predictddl/internal/regress"
 
 out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
